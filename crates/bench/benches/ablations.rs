@@ -1,0 +1,125 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **NLJ vs hash join** — force each strategy on the triangle query
+//!    (the optimizer's pick should match the faster one).
+//! 2. **Partitioned vs monolithic layout** (§3.2) on an edge-KV query.
+//! 3. **RF vs NG vs SP** on EQ8 (the paper drops RF for its 3-way join
+//!    per edge; this quantifies the cost).
+//! 4. **DML** (§2.1 future work): locate-and-delete via SPARQL Update.
+//! 5. **Index configuration** (§3.1): EQ2 with the paper's four indexes
+//!    vs a store with only PCSGM (probes degrade to residual-filtered
+//!    scans).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgrdf::{LoadOptions, PgRdfModel, PgRdfStore, PgVocab};
+use pgrdf_bench::{Eq, Fixture};
+use sparql::{compile_with, execute_compiled, parse_query, CompileOptions, ForcedJoin};
+use twittergen::TwitterGenConfig;
+
+fn bench(c: &mut Criterion) {
+    let fixture = Fixture::at_scale(0.01);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // 1. Join strategy on EQ12 (triangles).
+    let text = fixture.query_text(Eq::Eq12, PgRdfModel::NG);
+    let dataset = fixture.dataset_for(Eq::Eq12, PgRdfModel::NG);
+    let parsed = parse_query(&text).expect("parse EQ12");
+    let store = fixture.ng.store();
+    for (name, force) in [
+        ("optimizer", None),
+        ("forced_nlj", Some(ForcedJoin::Nlj)),
+        ("forced_hash", Some(ForcedJoin::Hash)),
+    ] {
+        let view = store.dataset(&dataset).expect("dataset");
+        let options = CompileOptions { force_join: force, ..Default::default() };
+        let compiled = compile_with(&view, &parsed, options).expect("compile");
+        group.bench_function(format!("join_strategy/{name}"), |b| {
+            b.iter(|| execute_compiled(&view, &compiled).expect("run"))
+        });
+    }
+
+    // 2. Partitioned vs monolithic on EQ8 (NG). The monolithic run must
+    //    scan node-KVs and edge-KVs together; partitioned prunes to
+    //    topology+edge-KV (Table 4).
+    let graph = &fixture.graph;
+    let mono = PgRdfStore::load_with(
+        graph,
+        PgRdfModel::NG,
+        LoadOptions { vocab: PgVocab::twitter(), ..Default::default() },
+    )
+    .expect("load");
+    let text = fixture.query_text(Eq::Eq8, PgRdfModel::NG);
+    group.bench_function("layout/monolithic_EQ8", |b| {
+        b.iter(|| mono.select(&text).expect("query"))
+    });
+    let dataset = fixture.dataset_for(Eq::Eq8, PgRdfModel::NG);
+    group.bench_function("layout/partitioned_EQ8", |b| {
+        b.iter(|| fixture.ng.select_in(&dataset, &text).expect("query"))
+    });
+
+    // 3. RF vs NG vs SP on EQ8.
+    for model in PgRdfModel::ALL {
+        let text = fixture.query_text(Eq::Eq8, model);
+        let dataset = fixture.dataset_for(Eq::Eq8, model);
+        let store = fixture.store(model);
+        group.bench_function(format!("edge_kv_model/{model}"), |b| {
+            b.iter(|| store.select_in(&dataset, &text).expect("query"))
+        });
+    }
+
+    // 4. DML round: insert a KV, then locate-and-delete it (§2.1: DML cost
+    //    is dominated by locating the quads to touch).
+    let small = twittergen::generate(&TwitterGenConfig::at_scale(0.002));
+    group.bench_function("dml/insert_then_delete_where", |b| {
+        b.iter_batched(
+            || {
+                PgRdfStore::load_with(
+                    &small,
+                    PgRdfModel::NG,
+                    LoadOptions { vocab: PgVocab::twitter(), ..Default::default() },
+                )
+                .expect("load")
+            },
+            |mut store| {
+                store
+                    .update(
+                        "PREFIX k: <http://pg/k/>\n\
+                         INSERT DATA { <http://pg/n0> k:hasTag \"#bench\" }",
+                    )
+                    .expect("insert");
+                store
+                    .update(
+                        "PREFIX k: <http://pg/k/>\n\
+                         DELETE WHERE { ?n k:hasTag \"#bench\" }",
+                    )
+                    .expect("delete");
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // 5. Index configuration: the paper's four indexes vs PCSGM only.
+    let graph4 = twittergen::generate(&TwitterGenConfig::at_scale(0.01));
+    let vocab = PgVocab::twitter();
+    let quads = pgrdf::convert(&graph4, PgRdfModel::NG, &vocab);
+    let tag = pgrdf_bench::pick_benchmark_tag(&graph4);
+    let q = pgrdf::QuerySet::new(vocab.clone(), PgRdfModel::NG).eq2(&tag);
+    for (name, indexes) in [
+        ("paper_four", quadstore::IndexKind::PAPER_FOUR.to_vec()),
+        ("pcsgm_only", vec![quadstore::IndexKind::PCSGM]),
+        ("standard_six", quadstore::IndexKind::STANDARD_SIX.to_vec()),
+    ] {
+        let mut store = quadstore::Store::with_default_indexes(&indexes);
+        store.create_model("pg").expect("model");
+        store.bulk_load("pg", &quads).expect("load");
+        group.bench_function(format!("indexes/{name}_EQ2"), |b| {
+            b.iter(|| sparql::select(&store, "pg", &q).expect("query"))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Experiment 1 (Figure 5): node-centric queries EQ1–EQ4.
+//!
+//! Expected shape: no significant difference between NG and SP — both use
+//! the same `-n-K-V` node-KV triples and index-based NLJ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgrdf::PgRdfModel;
+use pgrdf_bench::{Eq, Fixture};
+
+fn bench(c: &mut Criterion) {
+    let fixture = Fixture::at_scale(0.01);
+    let mut group = c.benchmark_group("exp1_node_centric");
+    group.sample_size(20);
+    for eq in [Eq::Eq1, Eq::Eq2, Eq::Eq3, Eq::Eq4] {
+        for model in [PgRdfModel::NG, PgRdfModel::SP] {
+            let label = format!("{}/{}", eq.label(model), model);
+            let text = fixture.query_text(eq, model);
+            let dataset = fixture.dataset_for(eq, model);
+            let store = fixture.store(model);
+            group.bench_function(&label, |b| {
+                b.iter(|| store.select_in(&dataset, &text).expect("query runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment 2 (Figure 6): edge-centric queries EQ5–EQ8.
+//!
+//! Expected shape: NG beats SP when edge key/value pairs are accessed
+//! (two quads vs three triples per edge), widest on EQ7 (three edge-KV
+//! accesses → largest join-count difference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgrdf::PgRdfModel;
+use pgrdf_bench::{Eq, Fixture};
+
+fn bench(c: &mut Criterion) {
+    let fixture = Fixture::at_scale(0.01);
+    let mut group = c.benchmark_group("exp2_edge_centric");
+    group.sample_size(20);
+    for eq in [Eq::Eq5, Eq::Eq6, Eq::Eq7, Eq::Eq8] {
+        for model in [PgRdfModel::NG, PgRdfModel::SP] {
+            let label = format!("{}/{}", eq.label(model), model);
+            let text = fixture.query_text(eq, model);
+            let dataset = fixture.dataset_for(eq, model);
+            let store = fixture.store(model);
+            group.bench_function(&label, |b| {
+                b.iter(|| store.select_in(&dataset, &text).expect("query runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment 3 (Figure 7): aggregate queries EQ9 (in-degree
+//! distribution) and EQ10 (out-degree distribution).
+//!
+//! Expected shape: NG ≈ SP — both models store the topology in the same
+//! quad/triple structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgrdf::PgRdfModel;
+use pgrdf_bench::{Eq, Fixture};
+
+fn bench(c: &mut Criterion) {
+    let fixture = Fixture::at_scale(0.01);
+    let mut group = c.benchmark_group("exp3_aggregate");
+    group.sample_size(10);
+    for eq in [Eq::Eq9, Eq::Eq10] {
+        for model in [PgRdfModel::NG, PgRdfModel::SP] {
+            let label = format!("{}/{}", eq.label(model), model);
+            let text = fixture.query_text(eq, model);
+            let dataset = fixture.dataset_for(eq, model);
+            let store = fixture.store(model);
+            group.bench_function(&label, |b| {
+                b.iter(|| store.select_in(&dataset, &text).expect("query runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Experiment 4 (Figure 8): path-counting queries EQ11a–EQ11c (1–3 hops;
+//! longer sweeps are in the `repro` binary — path counts grow
+//! exponentially, as Figure 8's log scale shows).
+//!
+//! Expected shape: execution time rises steeply with path length; NG
+//! slightly ahead of SP because its topology table is smaller.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgrdf::PgRdfModel;
+use pgrdf_bench::{Eq, Fixture};
+
+fn bench(c: &mut Criterion) {
+    let fixture = Fixture::at_scale(0.01);
+    let mut group = c.benchmark_group("exp4_traversal");
+    group.sample_size(10);
+    for hops in 1..=3 {
+        for model in [PgRdfModel::NG, PgRdfModel::SP] {
+            let eq = Eq::Eq11(hops);
+            let label = format!("{}/{}", eq.label(model), model);
+            let text = fixture.query_text(eq, model);
+            let dataset = fixture.dataset_for(eq, model);
+            let store = fixture.store(model);
+            group.bench_function(&label, |b| {
+                b.iter(|| store.select_in(&dataset, &text).expect("query runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

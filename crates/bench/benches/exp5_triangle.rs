@@ -1,0 +1,27 @@
+//! Experiment 5 (Figure 9): triangle counting (EQ12).
+//!
+//! Expected shape: the optimizer picks hash joins fed by full scans; NG
+//! edges out SP thanks to its smaller topology table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgrdf::PgRdfModel;
+use pgrdf_bench::{Eq, Fixture};
+
+fn bench(c: &mut Criterion) {
+    let fixture = Fixture::at_scale(0.01);
+    let mut group = c.benchmark_group("exp5_triangle");
+    group.sample_size(10);
+    for model in [PgRdfModel::NG, PgRdfModel::SP] {
+        let label = format!("EQ12/{model}");
+        let text = fixture.query_text(Eq::Eq12, model);
+        let dataset = fixture.dataset_for(Eq::Eq12, model);
+        let store = fixture.store(model);
+        group.bench_function(&label, |b| {
+            b.iter(|| store.select_in(&dataset, &text).expect("query runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Storage benches (Tables 7–9): conversion throughput per model, bulk
+//! load into the store, and the §4.4 load-time comparison (the paper
+//! loaded NG in 5:16 and SP in 6:01 — SP carries 2 extra triples/edge).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgrdf::{convert, LoadOptions, PartitionLayout, PgRdfModel, PgRdfStore, PgVocab};
+use twittergen::TwitterGenConfig;
+
+fn bench(c: &mut Criterion) {
+    let graph = twittergen::generate(&TwitterGenConfig::at_scale(0.01));
+    let vocab = PgVocab::twitter();
+
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(10);
+
+    // Conversion throughput (Table 7's triple-count difference shows up
+    // directly as conversion and load cost).
+    for model in PgRdfModel::ALL {
+        group.bench_function(format!("convert/{model}"), |b| {
+            b.iter(|| convert(&graph, model, &vocab))
+        });
+    }
+
+    // Bulk load (monolithic vs partitioned — §3.2 layout).
+    for model in [PgRdfModel::NG, PgRdfModel::SP] {
+        group.bench_function(format!("load_monolithic/{model}"), |b| {
+            b.iter(|| {
+                PgRdfStore::load_with(
+                    &graph,
+                    model,
+                    LoadOptions { vocab: vocab.clone(), ..Default::default() },
+                )
+                .expect("load")
+            })
+        });
+        group.bench_function(format!("load_partitioned/{model}"), |b| {
+            b.iter(|| {
+                PgRdfStore::load_with(
+                    &graph,
+                    model,
+                    LoadOptions {
+                        vocab: vocab.clone(),
+                        layout: PartitionLayout::Partitioned,
+                        ..Default::default()
+                    },
+                )
+                .expect("load")
+            })
+        });
+    }
+
+    // Storage report computation (Table 9).
+    let ng = PgRdfStore::load_with(
+        &graph,
+        PgRdfModel::NG,
+        LoadOptions { vocab: vocab.clone(), ..Default::default() },
+    )
+    .expect("load");
+    group.bench_function("storage_report/NG", |b| b.iter(|| ng.storage_report()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

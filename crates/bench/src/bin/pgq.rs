@@ -1,0 +1,174 @@
+//! `pgq` — a small command-line front end for the PG-as-RDF store.
+//!
+//! ```text
+//! pgq --graph graph.tsv [--model ng|sp|rf] [--partitioned] [--json] \
+//!     [--explain] [QUERY | -]           # '-' reads the query from stdin
+//! pgq --demo                            # Figure 1 graph + Table 3 Q2
+//! pgq --generate 0.01 --out graph.tsv   # write a synthetic Twitter graph
+//! pgq --snap DIR ...                    # load a SNAP egonets directory
+//! ```
+
+use std::io::Read as _;
+
+use pgrdf::{LoadOptions, PartitionLayout, PgRdfModel, PgRdfStore, PgVocab};
+use propertygraph::PropertyGraph;
+
+struct Args {
+    graph: Option<String>,
+    snap: Option<String>,
+    model: PgRdfModel,
+    partitioned: bool,
+    json: bool,
+    explain: bool,
+    demo: bool,
+    generate: Option<f64>,
+    out: Option<String>,
+    query: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pgq [--graph FILE.tsv | --snap DIR | --demo | --generate SCALE --out FILE]\n\
+         \x20          [--model ng|sp|rf] [--partitioned] [--json] [--explain] [QUERY|-]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        graph: None,
+        snap: None,
+        model: PgRdfModel::NG,
+        partitioned: false,
+        json: false,
+        explain: false,
+        demo: false,
+        generate: None,
+        out: None,
+        query: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--graph" => args.graph = argv.next(),
+            "--snap" => args.snap = argv.next(),
+            "--model" => {
+                args.model = match argv.next().as_deref() {
+                    Some("ng") | Some("NG") => PgRdfModel::NG,
+                    Some("sp") | Some("SP") => PgRdfModel::SP,
+                    Some("rf") | Some("RF") => PgRdfModel::RF,
+                    _ => usage(),
+                }
+            }
+            "--partitioned" => args.partitioned = true,
+            "--json" => args.json = true,
+            "--explain" => args.explain = true,
+            "--demo" => args.demo = true,
+            "--generate" => args.generate = argv.next().and_then(|s| s.parse().ok()),
+            "--out" => args.out = argv.next(),
+            "--help" | "-h" => usage(),
+            q => args.query = Some(q.to_string()),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(scale) = args.generate {
+        let graph = twittergen::generate(&twittergen::TwitterGenConfig::at_scale(scale));
+        let tsv = propertygraph::csv::to_tsv(&graph);
+        match &args.out {
+            Some(path) => {
+                std::fs::write(path, tsv).unwrap_or_else(|e| fail(&format!("write: {e}")));
+                eprintln!(
+                    "wrote {} vertices / {} edges to {path}",
+                    graph.vertex_count(),
+                    graph.edge_count()
+                );
+            }
+            None => print!("{tsv}"),
+        }
+        return;
+    }
+
+    let graph: PropertyGraph = if args.demo {
+        PropertyGraph::sample_figure1()
+    } else if let Some(path) = &args.graph {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        propertygraph::csv::from_tsv(&text).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")))
+    } else if let Some(dir) = &args.snap {
+        twittergen::snap::load_directory(std::path::Path::new(dir))
+            .unwrap_or_else(|e| fail(&format!("load SNAP dir {dir}: {e}")))
+    } else {
+        usage();
+    };
+
+    let vocab = if args.demo { PgVocab::default() } else { PgVocab::twitter() };
+    let store = PgRdfStore::load_with(
+        &graph,
+        args.model,
+        LoadOptions {
+            vocab,
+            layout: if args.partitioned {
+                PartitionLayout::Partitioned
+            } else {
+                PartitionLayout::Monolithic
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("load: {e}")));
+    eprintln!(
+        "loaded {} vertices / {} edges as {} ({} quads)",
+        graph.vertex_count(),
+        graph.edge_count(),
+        args.model,
+        store.stats().quads
+    );
+
+    let query = match &args.query {
+        Some(q) if q == "-" => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| fail(&format!("stdin: {e}")));
+            buf
+        }
+        Some(q) => q.clone(),
+        None if args.demo => store.queries().q2_edge_kvs(),
+        None => usage(),
+    };
+
+    if args.explain {
+        match store.explain(&query) {
+            Ok(plan) => println!("{plan}"),
+            Err(e) => fail(&format!("explain: {e}")),
+        }
+        return;
+    }
+
+    match store.query(&query) {
+        Ok(results) => {
+            if args.json {
+                println!("{}", sparql::json::to_json(&results));
+            } else {
+                match results {
+                    sparql::QueryResults::Solutions(s) => print!("{s}"),
+                    sparql::QueryResults::Boolean(b) => println!("{b}"),
+                    sparql::QueryResults::Graph(quads) => {
+                        print!("{}", rdf_model::nquads::serialize(&quads))
+                    }
+                }
+            }
+        }
+        Err(e) => fail(&format!("query: {e}")),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("pgq: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,424 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--scale 0.02] [--seed 7739251] [table2|table5|table6|table7|table8|table9|
+//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|all]
+//! ```
+//!
+//! Absolute numbers differ from the paper (different hardware, synthetic
+//! dataset, scaled size); the harness prints paper reference values next
+//! to measurements so the *shape* comparison is direct.
+
+use std::time::Instant;
+
+use pgrdf::cardinality::{self, PgCardinalities};
+use pgrdf::{PgRdfModel, PgVocab, QuerySet};
+use pgrdf_bench::{fmt_ms, paper, Eq, Fixture};
+use propertygraph::PropertyGraph;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    sections: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut scale = 0.02;
+    let mut seed = 0x7717_73;
+    let mut sections = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|all]"
+                );
+                std::process::exit(0);
+            }
+            section => sections.push(section.to_string()),
+        }
+    }
+    if sections.is_empty() {
+        sections.push("all".to_string());
+    }
+    Args { scale, seed, sections }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let want = |name: &str| args.sections.iter().any(|s| s == name || s == "all");
+
+    println!("== pgrdf repro harness ==");
+    println!("scale = {} (1.0 = paper size), seed = {}", args.scale, args.seed);
+
+    if want("table2") {
+        table2();
+    }
+
+    // Everything below needs the generated dataset.
+    let needs_fixture = [
+        "table5", "table6", "table7", "table8", "table9", "fig4", "fig5", "fig6", "fig7",
+        "fig8", "fig9", "rf", "mono",
+    ]
+    .iter()
+    .any(|s| want(s));
+    if !needs_fixture {
+        return;
+    }
+
+    let t0 = Instant::now();
+    let fixture = Fixture::with_seed(args.scale, args.seed);
+    println!(
+        "\ngenerated + loaded dataset in {} (NG/SP/RF stores, partitioned)",
+        fmt_ms(t0.elapsed())
+    );
+
+    if want("table6") {
+        table6(&fixture);
+    }
+    if want("table7") {
+        table7(&fixture);
+    }
+    if want("table8") {
+        table8(&fixture);
+    }
+    if want("table9") {
+        table9(&fixture);
+    }
+    if want("table5") {
+        table5(&fixture);
+    }
+    if want("fig4") {
+        fig4(&fixture);
+    }
+    if want("fig5") {
+        experiment(
+            &fixture,
+            "Experiment 1 - node-centric (Figure 5)",
+            &[Eq::Eq1, Eq::Eq2, Eq::Eq3, Eq::Eq4],
+            &[PgRdfModel::NG, PgRdfModel::SP],
+        );
+    }
+    if want("fig6") {
+        experiment(
+            &fixture,
+            "Experiment 2 - edge-centric (Figure 6)",
+            &[Eq::Eq5, Eq::Eq6, Eq::Eq7, Eq::Eq8],
+            &[PgRdfModel::NG, PgRdfModel::SP],
+        );
+    }
+    if want("fig7") {
+        experiment(
+            &fixture,
+            "Experiment 3 - aggregates (Figure 7)",
+            &[Eq::Eq9, Eq::Eq10],
+            &[PgRdfModel::NG, PgRdfModel::SP],
+        );
+    }
+    if want("fig8") {
+        let hops: Vec<Eq> = (1..=max_hops(args.scale)).map(Eq::Eq11).collect();
+        experiment(
+            &fixture,
+            "Experiment 4 - graph traversal (Figure 8)",
+            &hops,
+            &[PgRdfModel::NG, PgRdfModel::SP],
+        );
+    }
+    if want("fig9") {
+        experiment(
+            &fixture,
+            "Experiment 5 - triangle counting (Figure 9)",
+            &[Eq::Eq12],
+            &[PgRdfModel::NG, PgRdfModel::SP],
+        );
+    }
+    if want("rf") {
+        experiment(
+            &fixture,
+            "Ablation - RF model on edge-centric queries (S2.3)",
+            &[Eq::Eq5, Eq::Eq6, Eq::Eq8],
+            &[PgRdfModel::RF, PgRdfModel::NG, PgRdfModel::SP],
+        );
+    }
+    if want("mono") {
+        monolithic_scan_ablation(&fixture);
+    }
+}
+
+/// The paper's Figures 8/9 NG-vs-SP gap comes from full scans over the
+/// whole (monolithic) triples table, where SP is ~1.5x larger. Our
+/// partitioned layout erases that gap (both topology partitions are
+/// identical), so this section reruns EQ11c and EQ12 against monolithic
+/// stores to reproduce the paper's size effect.
+fn monolithic_scan_ablation(fixture: &Fixture) {
+    use pgrdf::{LoadOptions, PgRdfStore, PgVocab};
+    println!("\n--- Ablation - monolithic full-scan gap (Figures 8/9) ---");
+    println!(
+        "{:<8} {:<6} {:>12} {:>12} {:>12}",
+        "query", "model", "time", "results", "quads"
+    );
+    for model in [PgRdfModel::NG, PgRdfModel::SP] {
+        let store = PgRdfStore::load_with(
+            &fixture.graph,
+            model,
+            LoadOptions { vocab: PgVocab::twitter(), ..Default::default() },
+        )
+        .expect("monolithic load");
+        for eq in [Eq::Eq11(3), Eq::Eq12] {
+            let text = fixture.query_text(eq, model);
+            let warmup = store.select(&text).expect("query");
+            let _ = warmup;
+            let t0 = Instant::now();
+            let sols = store.select(&text).expect("query");
+            let elapsed = t0.elapsed();
+            let rows = sols.scalar_i64().map(|n| n as usize).unwrap_or(sols.len());
+            println!(
+                "{:<8} {:<6} {:>12} {:>12} {:>12}",
+                eq.label(model),
+                model.to_string(),
+                fmt_ms(elapsed),
+                rows,
+                store.stats().quads
+            );
+        }
+    }
+}
+
+/// Path counts explode exponentially with the hop count and the graph's
+/// mean degree (Figure 8's log scale): cap the sweep so the default
+/// harness stays snappy. Run `repro fig8 --scale 0.005` for the full
+/// 5-hop sweep.
+fn max_hops(scale: f64) -> usize {
+    if scale <= 0.006 {
+        5
+    } else {
+        4
+    }
+}
+
+fn table2() {
+    println!("\n--- Table 2: PG vs RDF cardinalities (predicted vs measured, Figure 1 graph) ---");
+    let g = PropertyGraph::sample_figure1();
+    let vocab = PgVocab::default();
+    let pg = PgCardinalities::of(&g);
+    println!(
+        "PG: E={} E1={} V={} eKV={} nKV={} eL={} eK={} nK={}",
+        pg.e, pg.e1, pg.v, pg.ekv, pg.nkv, pg.el, pg.ek, pg.nk
+    );
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "model", "namedGraphs", "objProp", "dataProp", "distObjProp", "distDataProp"
+    );
+    for model in PgRdfModel::ALL {
+        let quads = pgrdf::convert(&g, model, &vocab);
+        let measured = cardinality::measure(&quads, &vocab);
+        let predicted = cardinality::predict(model, &pg);
+        let check = if measured == predicted { "ok" } else { "MISMATCH" };
+        println!(
+            "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}   {}",
+            model.to_string(),
+            measured.named_graphs,
+            measured.obj_prop,
+            measured.data_prop,
+            measured.distinct_obj_properties,
+            measured.distinct_data_properties,
+            check
+        );
+    }
+}
+
+fn table6(fixture: &Fixture) {
+    println!(
+        "\n--- Table 6: dataset characteristics (paper @ 1.0 vs measured @ {}) ---",
+        fixture.scale
+    );
+    let g = &fixture.graph;
+    let rows = [
+        ("Nodes", paper::table6::NODES, g.vertex_count()),
+        ("Edges", paper::table6::EDGES, g.edge_count()),
+        ("Node KVs", paper::table6::NODE_KVS, g.node_kv_count()),
+        ("Edge KVs", paper::table6::EDGE_KVS, g.edge_kv_count()),
+    ];
+    print_scaled_rows(&rows, fixture.scale);
+}
+
+fn table7(fixture: &Fixture) {
+    println!("\n--- Table 7: transformed RDF characteristics (triples) ---");
+    let g = &fixture.graph;
+    let follows = g.edges().filter(|(_, e)| e.label == "follows").count();
+    let knows = g.edges().filter(|(_, e)| e.label == "knows").count();
+    let count_kvs = |key: &str| -> usize {
+        g.vertices()
+            .flat_map(|(_, v)| v.props.get(key).map(Vec::len))
+            .sum::<usize>()
+            + g.edges()
+                .flat_map(|(_, e)| e.props.get(key).map(Vec::len))
+                .sum::<usize>()
+    };
+    let refs = count_kvs("refs");
+    let has_tag = count_kvs("hasTag");
+    let ng_total = fixture.ng.stats().quads;
+    let sp_total = fixture.sp.stats().quads;
+    let rows = [
+        ("follows edges", paper::table7::FOLLOWS, follows),
+        ("knows edges", paper::table7::KNOWS, knows),
+        ("refs KVs", paper::table7::REFS, refs),
+        ("hasTag KVs", paper::table7::HAS_TAG, has_tag),
+        ("NG total", paper::table7::NG_TOTAL, ng_total),
+        ("SP total", paper::table7::SP_TOTAL, sp_total),
+    ];
+    print_scaled_rows(&rows, fixture.scale);
+    println!(
+        "shape check: SP total - NG total = {} (expected 2*E = {})",
+        sp_total - ng_total,
+        2 * fixture.graph.edge_count()
+    );
+}
+
+fn table8(fixture: &Fixture) {
+    println!("\n--- Table 8: transformed RDF characteristics (resources) ---");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "model", "subjects", "predicates", "objects", "namedGraphs"
+    );
+    for (name, store, p_subj, p_pred, p_obj, p_g) in [
+        (
+            "NG",
+            &fixture.ng,
+            paper::table8::NG_SUBJECTS,
+            paper::table8::NG_PREDICATES,
+            paper::table8::NG_OBJECTS,
+            paper::table8::NG_NAMED_GRAPHS,
+        ),
+        (
+            "SP",
+            &fixture.sp,
+            paper::table8::SP_SUBJECTS,
+            paper::table8::SP_PREDICATES,
+            paper::table8::SP_OBJECTS,
+            paper::table8::SP_NAMED_GRAPHS,
+        ),
+    ] {
+        let stats = store.stats();
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}   (measured)",
+            name,
+            stats.distinct_subjects,
+            stats.distinct_predicates,
+            stats.distinct_objects,
+            stats.distinct_named_graphs
+        );
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}   (paper @ 1.0)",
+            "", p_subj, p_pred, p_obj, p_g
+        );
+    }
+    println!("shape check: SP predicates ~= E + labels + keys + 1; NG predicates = labels + keys");
+}
+
+fn table9(fixture: &Fixture) {
+    println!("\n--- Table 9: storage characteristics (logical entries / est. bytes) ---");
+    for (name, store) in [("NG", &fixture.ng), ("SP", &fixture.sp)] {
+        println!("[{name}]");
+        print!("{}", store.storage_report());
+    }
+    let ng = fixture.ng.storage_report().total_bytes();
+    let sp = fixture.sp.storage_report().total_bytes();
+    println!(
+        "shape check: SP/NG total ratio = {:.3} (paper: {:.3})",
+        sp as f64 / ng as f64,
+        paper::table9::SP_TOTAL_MB as f64 / paper::table9::NG_TOTAL_MB as f64
+    );
+}
+
+fn table5(fixture: &Fixture) {
+    println!("\n--- Table 5: index-based access plans (EXPLAIN) ---");
+    for (name, store) in [("NG", &fixture.ng), ("SP", &fixture.sp)] {
+        let qs: QuerySet = store.queries();
+        for (label, q) in [
+            ("Q1 (triangles)", qs.q1_triangles()),
+            ("Q2 (edge + edge-KVs)", qs.q2_edge_kvs()),
+            ("Q3 (node KVs)", qs.q3_node_kvs("Amy")),
+        ] {
+            println!("[{name}] {label}:");
+            match store.explain(&q) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("  explain failed: {e}"),
+            }
+        }
+    }
+}
+
+fn fig4(fixture: &Fixture) {
+    println!("\n--- Figure 4: degree distributions ---");
+    let out = twittergen::degree::out_degree_distribution(&fixture.graph);
+    let inn = twittergen::degree::in_degree_distribution(&fixture.graph);
+    let so = twittergen::degree::summarize(&out);
+    let si = twittergen::degree::summarize(&inn);
+    println!(
+        "out-degree: distinct={} max={} mean={:.2}",
+        so.distinct_degrees, so.max_degree, so.mean_degree
+    );
+    println!(
+        "in-degree:  distinct={} max={} mean={:.2}",
+        si.distinct_degrees, si.max_degree, si.mean_degree
+    );
+    println!("(EQ9/EQ10 in Figure 7 recompute these via SPARQL aggregation)");
+}
+
+fn experiment(fixture: &Fixture, title: &str, queries: &[Eq], models: &[PgRdfModel]) {
+    println!("\n--- {title} ---");
+    println!("tag = {:?}, start node = n{}", fixture.tag, fixture.start_node);
+    println!(
+        "{:<8} {:<6} {:>12} {:>12} {:>16}",
+        "query", "model", "time", "results", "paper results@1.0"
+    );
+    for &eq in queries {
+        for &model in models {
+            let label = eq.label(model);
+            let (elapsed, rows) = fixture.run(eq, model);
+            let paper_count = paper::results::count_for(&label)
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "{:<8} {:<6} {:>12} {:>12} {:>16}",
+                label,
+                model.to_string(),
+                fmt_ms(elapsed),
+                rows,
+                paper_count
+            );
+        }
+    }
+}
+
+fn print_scaled_rows(rows: &[(&str, usize, usize)], scale: f64) {
+    println!(
+        "{:<16} {:>12} {:>14} {:>12}",
+        "metric", "paper@1.0", "scaled-target", "measured"
+    );
+    for (name, paper_value, measured) in rows {
+        let scaled = (*paper_value as f64 * scale).round() as usize;
+        println!(
+            "{:<16} {:>12} {:>14} {:>12}",
+            name, paper_value, scaled, measured
+        );
+    }
+}

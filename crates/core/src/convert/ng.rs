@@ -1,0 +1,42 @@
+//! The named-graph model (NG).
+//!
+//! One quad `e-s-p-o` per edge; edge KVs become quads `e-e-K-V` placed in
+//! the same named graph `e` "to allow for clustering edge key/values with
+//! the corresponding edge" (§2).
+
+use propertygraph::PropertyGraph;
+use rdf_model::{GraphName, Quad, Term};
+
+use super::ConvertOptions;
+use crate::vocab::PgVocab;
+
+pub(super) fn convert_edges(
+    graph: &PropertyGraph,
+    vocab: &PgVocab,
+    options: ConvertOptions,
+    out: &mut Vec<Quad>,
+) {
+    for (id, edge) in graph.edges() {
+        let s = Term::Iri(vocab.vertex_iri(edge.src));
+        let p = Term::Iri(vocab.label_iri(&edge.label));
+        let o = Term::Iri(vocab.vertex_iri(edge.dst));
+        if options.single_triple_for_kvless_edges && edge.props.is_empty() {
+            out.push(Quad::new_unchecked(s, p, o, GraphName::Default));
+            continue;
+        }
+        let e = Term::Iri(vocab.edge_iri(id));
+        let g = GraphName::Named(e.clone());
+        out.push(Quad::new_unchecked(s, p, o, g.clone()));
+        for (key, values) in &edge.props {
+            let k = Term::Iri(vocab.key_iri(key));
+            for value in values {
+                out.push(Quad::new_unchecked(
+                    e.clone(),
+                    k.clone(),
+                    vocab.value_term(value),
+                    g.clone(),
+                ));
+            }
+        }
+    }
+}

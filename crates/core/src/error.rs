@@ -1,0 +1,56 @@
+//! Errors of the pgrdf facade.
+
+use std::fmt;
+
+/// Errors raised by the PG-as-RDF layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Quad-store error.
+    Store(quadstore::StoreError),
+    /// SPARQL error.
+    Sparql(sparql::SparqlError),
+    /// RDF-to-PG reconstruction failure.
+    Roundtrip(String),
+    /// `count()` got a non-scalar result (row count attached).
+    NotScalar(usize),
+    /// SPARQL Update is only supported on the monolithic layout.
+    UpdateOnPartitioned,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Store(e) => write!(f, "{e}"),
+            CoreError::Sparql(e) => write!(f, "{e}"),
+            CoreError::Roundtrip(msg) => write!(f, "roundtrip failed: {msg}"),
+            CoreError::NotScalar(rows) => {
+                write!(f, "expected a single scalar result, got {rows} rows")
+            }
+            CoreError::UpdateOnPartitioned => {
+                write!(f, "SPARQL Update requires the monolithic layout")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Store(e) => Some(e),
+            CoreError::Sparql(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<quadstore::StoreError> for CoreError {
+    fn from(e: quadstore::StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<sparql::SparqlError> for CoreError {
+    fn from(e: sparql::SparqlError) -> Self {
+        CoreError::Sparql(e)
+    }
+}

@@ -1,0 +1,319 @@
+//! SPARQL query builders: the Table 3 patterns (Q1–Q4) and the Table 10
+//! experiment queries (EQ1–EQ12), parameterised by PG-as-RDF model.
+//!
+//! These encode the paper's formulation rules (§2.3): queries that do not
+//! touch edge-KVs are identical across models; queries that do touch
+//! edge-KVs need the model-specific access pattern (reification triples
+//! for RF, `GRAPH` clauses for NG, `rdfs:subPropertyOf` anchors for SP).
+
+use crate::convert::PgRdfModel;
+use crate::vocab::PgVocab;
+
+/// A query builder bound to a vocabulary and model.
+///
+/// ```
+/// use pgrdf::{PgRdfModel, PgVocab, QuerySet};
+///
+/// let qs = QuerySet::new(PgVocab::twitter(), PgRdfModel::NG);
+/// let eq5a = qs.eq5("#webseries");
+/// assert!(eq5a.contains("GRAPH ?g1"));        // NG accesses edge KVs via the graph IRI
+/// assert!(sparql::parse_query(&eq5a).is_ok()); // and it is standard SPARQL
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    vocab: PgVocab,
+    model: PgRdfModel,
+}
+
+impl QuerySet {
+    /// Builder for one model.
+    pub fn new(vocab: PgVocab, model: PgRdfModel) -> Self {
+        QuerySet { vocab, model }
+    }
+
+    /// The model these queries target.
+    pub fn model(&self) -> PgRdfModel {
+        self.model
+    }
+
+    fn p(&self) -> String {
+        self.vocab.prefixes()
+    }
+
+    // ---- Table 3 ----
+
+    /// Q1: get triangles (three-edge cycles) of `follows` edges — same
+    /// pattern for every model thanks to the asserted `-s-p-o` triples.
+    pub fn q1_triangles(&self) -> String {
+        format!(
+            "{}SELECT ?x ?y ?z WHERE {{ ?x rel:follows ?y . ?y rel:follows ?z . ?z rel:follows ?x }}",
+            self.p()
+        )
+    }
+
+    /// Q2: get vertex pairs and all KVs of edges with `follows` label —
+    /// the model-specific query of Table 3.
+    pub fn q2_edge_kvs(&self) -> String {
+        match self.model {
+            PgRdfModel::RF => format!(
+                "{}SELECT ?x ?y ?k ?V WHERE {{ ?e rdf:subject ?x; rdf:predicate rel:follows; rdf:object ?y . ?e ?k ?V FILTER (isLiteral(?V)) }}",
+                self.p()
+            ),
+            PgRdfModel::NG => format!(
+                "{}SELECT ?x ?y ?k ?V WHERE {{ GRAPH ?e {{ ?x rel:follows ?y . ?e ?k ?V }} }}",
+                self.p()
+            ),
+            PgRdfModel::SP => format!(
+                "{}SELECT ?x ?y ?k ?V WHERE {{ ?x ?e ?y . ?e rdfs:subPropertyOf rel:follows . ?e ?k ?V FILTER (isLiteral(?V)) }}",
+                self.p()
+            ),
+        }
+    }
+
+    /// Q3: get all KVs of vertices matching a given KV (name = "Amy").
+    pub fn q3_node_kvs(&self, name: &str) -> String {
+        format!(
+            "{}SELECT ?x ?k ?V WHERE {{ ?x key:name \"{name}\" . ?x ?k ?V FILTER isLiteral(?V) }}",
+            self.p()
+        )
+    }
+
+    /// Q4: get source and destination vertices of all edges.
+    pub fn q4_all_edges(&self) -> String {
+        format!(
+            "{}SELECT ?x ?y WHERE {{ ?x ?p ?y FILTER isIRI(?y) }}",
+            self.p()
+        )
+    }
+
+    // ---- Table 10 (EQ1–EQ12) ----
+
+    /// EQ1: find all nodes that have a given tag.
+    pub fn eq1(&self, tag: &str) -> String {
+        format!("{}SELECT ?n WHERE {{ ?n k:hasTag \"{tag}\" }}", self.p())
+    }
+
+    /// EQ2: find all nodes that follow nodes with the tag.
+    pub fn eq2(&self, tag: &str) -> String {
+        format!(
+            "{}SELECT ?nf WHERE {{ ?n k:hasTag \"{tag}\" . ?nf r:follows ?n }}",
+            self.p()
+        )
+    }
+
+    /// EQ3: all 3-hop paths where each node has the tag.
+    pub fn eq3(&self, tag: &str) -> String {
+        format!(
+            "{}SELECT ?n4 WHERE {{ ?n k:hasTag ?t . ?n r:follows ?n2 . ?n2 k:hasTag ?t . \
+             ?n2 r:follows ?n3 . ?n3 k:hasTag ?t . ?n3 r:follows ?n4 . \
+             ?n4 k:hasTag ?t FILTER (?t = \"{tag}\") }}",
+            self.p()
+        )
+    }
+
+    /// EQ4: all key/value pairs of nodes with the tag.
+    pub fn eq4(&self, tag: &str) -> String {
+        format!(
+            "{}SELECT ?n ?k ?v WHERE {{ ?n k:hasTag \"{tag}\" . ?n ?k ?v FILTER (isLiteral(?v)) }}",
+            self.p()
+        )
+    }
+
+    /// EQ5 (a=NG / b=SP / RF variant for the ablation): all edges with the
+    /// tag.
+    pub fn eq5(&self, tag: &str) -> String {
+        match self.model {
+            PgRdfModel::NG => format!(
+                "{}SELECT ?n2 WHERE {{ GRAPH ?g1 {{ ?n r:follows ?n2 . ?g1 k:hasTag \"{tag}\" }} }}",
+                self.p()
+            ),
+            PgRdfModel::SP => format!(
+                "{}SELECT ?n2 WHERE {{ ?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . ?p k:hasTag \"{tag}\" }}",
+                self.p()
+            ),
+            PgRdfModel::RF => format!(
+                "{}SELECT ?n2 WHERE {{ ?e rdf:predicate r:follows . ?e rdf:object ?n2 . ?e k:hasTag \"{tag}\" }}",
+                self.p()
+            ),
+        }
+    }
+
+    /// EQ6: endpoints of tagged edges, then whom those endpoints follow.
+    pub fn eq6(&self, tag: &str) -> String {
+        match self.model {
+            PgRdfModel::NG => format!(
+                "{}SELECT ?n3 WHERE {{ GRAPH ?g1 {{ ?n r:follows ?n2 . ?g1 k:hasTag \"{tag}\" }} ?n2 r:follows ?n3 }}",
+                self.p()
+            ),
+            PgRdfModel::SP => format!(
+                "{}SELECT ?n3 WHERE {{ ?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . \
+                 ?p k:hasTag \"{tag}\" . ?n2 r:follows ?n3 }}",
+                self.p()
+            ),
+            PgRdfModel::RF => format!(
+                "{}SELECT ?n3 WHERE {{ ?e rdf:predicate r:follows . ?e rdf:object ?n2 . \
+                 ?e k:hasTag \"{tag}\" . ?n2 r:follows ?n3 }}",
+                self.p()
+            ),
+        }
+    }
+
+    /// EQ7: 3-hop paths where each edge has the tag.
+    pub fn eq7(&self, tag: &str) -> String {
+        match self.model {
+            PgRdfModel::NG => format!(
+                "{}SELECT ?n4 WHERE {{ \
+                 GRAPH ?g1 {{ ?n r:follows ?n2 . ?g1 k:hasTag \"{tag}\" }} \
+                 GRAPH ?g2 {{ ?n2 r:follows ?n3 . ?g2 k:hasTag \"{tag}\" }} \
+                 GRAPH ?g3 {{ ?n3 r:follows ?n4 . ?g3 k:hasTag \"{tag}\" }} }}",
+                self.p()
+            ),
+            PgRdfModel::SP => format!(
+                "{}SELECT ?n4 WHERE {{ \
+                 ?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . ?p k:hasTag \"{tag}\" . \
+                 ?n2 ?p2 ?n3 . ?p2 rdfs:subPropertyOf r:follows . ?p2 k:hasTag \"{tag}\" . \
+                 ?n3 ?p3 ?n4 . ?p3 rdfs:subPropertyOf r:follows . ?p3 k:hasTag \"{tag}\" }}",
+                self.p()
+            ),
+            PgRdfModel::RF => format!(
+                "{}SELECT ?n4 WHERE {{ \
+                 ?e1 rdf:predicate r:follows . ?e1 rdf:object ?n2 . ?e1 k:hasTag \"{tag}\" . \
+                 ?e2 rdf:subject ?n2 . ?e2 rdf:predicate r:follows . ?e2 rdf:object ?n3 . ?e2 k:hasTag \"{tag}\" . \
+                 ?e3 rdf:subject ?n3 . ?e3 rdf:predicate r:follows . ?e3 rdf:object ?n4 . ?e3 k:hasTag \"{tag}\" }}",
+                self.p()
+            ),
+        }
+    }
+
+    /// EQ8: all edge key/value pairs of tagged edges.
+    pub fn eq8(&self, tag: &str) -> String {
+        match self.model {
+            PgRdfModel::NG => format!(
+                "{}SELECT ?n2 ?k ?v WHERE {{ GRAPH ?g1 {{ ?n r:follows ?n2 . \
+                 ?g1 k:hasTag \"{tag}\" . ?g1 ?k ?v FILTER (isLiteral(?v)) }} }}",
+                self.p()
+            ),
+            PgRdfModel::SP => format!(
+                "{}SELECT ?n2 ?k ?v WHERE {{ ?s ?p ?n2 . ?p rdfs:subPropertyOf r:follows . \
+                 ?p k:hasTag \"{tag}\" . ?p ?k ?v FILTER (isLiteral(?v)) }}",
+                self.p()
+            ),
+            PgRdfModel::RF => format!(
+                "{}SELECT ?n2 ?k ?v WHERE {{ ?e rdf:predicate r:follows . ?e rdf:object ?n2 . \
+                 ?e k:hasTag \"{tag}\" . ?e ?k ?v FILTER (isLiteral(?v)) }}",
+                self.p()
+            ),
+        }
+    }
+
+    /// EQ9: in-degree distribution (aggregate over topology).
+    pub fn eq9(&self) -> String {
+        format!(
+            "{}SELECT ?inDeg (COUNT(*) as ?cnt) WHERE {{ \
+             SELECT ?n2 (COUNT(*) as ?inDeg) WHERE {{ ?n1 (r:knows|r:follows) ?n2 }} GROUP BY ?n2 \
+             }} GROUP BY ?inDeg ORDER BY DESC(?inDeg)",
+            self.p()
+        )
+    }
+
+    /// EQ10: out-degree distribution.
+    pub fn eq10(&self) -> String {
+        format!(
+            "{}SELECT ?outDeg (COUNT(*) as ?cnt) WHERE {{ \
+             SELECT ?n1 (COUNT(*) as ?outDeg) WHERE {{ ?n1 (r:knows|r:follows) ?n2 }} GROUP BY ?n1 \
+             }} GROUP BY ?outDeg ORDER BY DESC(?outDeg)",
+            self.p()
+        )
+    }
+
+    /// EQ11: count all paths of length `hops` (1–5 in Figure 8) from a
+    /// start node.
+    pub fn eq11(&self, start_vertex: u64, hops: usize) -> String {
+        assert!(hops >= 1, "EQ11 needs at least one hop");
+        let path = vec!["r:follows"; hops].join("/");
+        format!(
+            "{}SELECT (COUNT(?y) as ?cnt) WHERE {{ {} {path} ?y }}",
+            self.p(),
+            self.vocab.vertex_iri(start_vertex)
+        )
+    }
+
+    /// EQ12: count all `follows` triangles.
+    pub fn eq12(&self) -> String {
+        format!(
+            "{}SELECT (COUNT(*) AS ?cnt) WHERE {{ ?x r:follows ?y . ?y r:follows ?z . ?z r:follows ?x }}",
+            self.p()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sets() -> Vec<QuerySet> {
+        PgRdfModel::ALL
+            .iter()
+            .map(|&m| QuerySet::new(PgVocab::default(), m))
+            .collect()
+    }
+
+    #[test]
+    fn every_generated_query_parses() {
+        for qs in all_sets() {
+            let queries = vec![
+                qs.q1_triangles(),
+                qs.q2_edge_kvs(),
+                qs.q3_node_kvs("Amy"),
+                qs.q4_all_edges(),
+                qs.eq1("#webseries"),
+                qs.eq2("#webseries"),
+                qs.eq3("#webseries"),
+                qs.eq4("#webseries"),
+                qs.eq5("#webseries"),
+                qs.eq6("#webseries"),
+                qs.eq7("#webseries"),
+                qs.eq8("#webseries"),
+                qs.eq9(),
+                qs.eq10(),
+                qs.eq11(6160742, 1),
+                qs.eq11(6160742, 5),
+                qs.eq12(),
+            ];
+            for (i, q) in queries.iter().enumerate() {
+                sparql::parse_query(q).unwrap_or_else(|e| {
+                    panic!("{} query #{i} failed to parse: {e}\n{q}", qs.model())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn edge_kv_queries_differ_by_model() {
+        let sets = all_sets();
+        assert_ne!(sets[0].q2_edge_kvs(), sets[1].q2_edge_kvs());
+        assert_ne!(sets[1].q2_edge_kvs(), sets[2].q2_edge_kvs());
+        // NG uses GRAPH; SP uses subPropertyOf; RF uses rdf:subject.
+        assert!(sets[1].eq5("#t").contains("GRAPH"));
+        assert!(sets[2].eq5("#t").contains("subPropertyOf"));
+        assert!(sets[0].eq5("#t").contains("rdf:predicate"));
+    }
+
+    #[test]
+    fn node_centric_queries_are_model_independent() {
+        let sets = all_sets();
+        for i in 1..sets.len() {
+            assert_eq!(sets[0].eq1("#t"), sets[i].eq1("#t"));
+            assert_eq!(sets[0].eq9(), sets[i].eq9());
+            assert_eq!(sets[0].eq12(), sets[i].eq12());
+        }
+    }
+
+    #[test]
+    fn eq11_uses_vertex_prefix() {
+        let qs = QuerySet::new(PgVocab::twitter(), PgRdfModel::NG);
+        let q = qs.eq11(6160742, 3);
+        assert!(q.contains("<http://pg/n6160742>"));
+        assert!(q.contains("r:follows/r:follows/r:follows"));
+    }
+}

@@ -1,0 +1,473 @@
+//! The high-level facade: load a property graph into the RDF store under
+//! one of the three models and query it with SPARQL.
+
+use propertygraph::PropertyGraph;
+use quadstore::{IndexKind, ModelStats, StorageReport, Store};
+use rdf_model::Quad;
+use sparql::{QueryResults, Solutions, UpdateStats};
+
+use crate::convert::{convert_with, ConvertOptions, PgRdfModel};
+use crate::error::CoreError;
+use crate::partition::{classify, PartitionNames, QuadClass};
+use crate::queries::QuerySet;
+use crate::roundtrip;
+use crate::vocab::PgVocab;
+
+/// Physical layout of the generated RDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionLayout {
+    /// One semantic model holding everything (the §4 experiment setup).
+    Monolithic,
+    /// Three partition models + a virtual union model (§3.2).
+    Partitioned,
+}
+
+/// Load-time options.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// IRI-generation vocabulary.
+    pub vocab: PgVocab,
+    /// Physical layout.
+    pub layout: PartitionLayout,
+    /// Semantic-network indexes per model (§4.4 uses
+    /// PCSGM, PSCGM, SPCGM, GPSCM).
+    pub indexes: Vec<IndexKind>,
+    /// Conversion options (ablations).
+    pub convert: ConvertOptions,
+    /// Base name of the semantic model(s).
+    pub base_name: String,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            vocab: PgVocab::default(),
+            layout: PartitionLayout::Monolithic,
+            indexes: IndexKind::PAPER_FOUR.to_vec(),
+            convert: ConvertOptions::default(),
+            base_name: "pg".to_string(),
+        }
+    }
+}
+
+/// A property graph stored as RDF, queryable with SPARQL.
+///
+/// ```
+/// use pgrdf::{PgRdfStore, PgRdfModel};
+/// use propertygraph::PropertyGraph;
+///
+/// let graph = PropertyGraph::sample_figure1();
+/// let store = PgRdfStore::load(&graph, PgRdfModel::NG).unwrap();
+/// // "who follows whom since when?" (§2)
+/// let sols = store
+///     .select(
+///         "PREFIX rel: <http://pg/r/> PREFIX key: <http://pg/k/>\n\
+///          SELECT ?xname ?yname ?yr WHERE {\n\
+///            GRAPH ?g {?x rel:follows ?y . ?g key:since ?yr }\n\
+///            ?x key:name ?xname . ?y key:name ?yname }",
+///     )
+///     .unwrap();
+/// assert_eq!(sols.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PgRdfStore {
+    store: Store,
+    model: PgRdfModel,
+    vocab: PgVocab,
+    layout: PartitionLayout,
+    base: String,
+}
+
+impl PgRdfStore {
+    /// Loads a property graph with default options (monolithic layout,
+    /// the paper's four indexes).
+    pub fn load(graph: &PropertyGraph, model: PgRdfModel) -> Result<Self, CoreError> {
+        Self::load_with(graph, model, LoadOptions::default())
+    }
+
+    /// Loads with explicit options.
+    pub fn load_with(
+        graph: &PropertyGraph,
+        model: PgRdfModel,
+        options: LoadOptions,
+    ) -> Result<Self, CoreError> {
+        let quads = convert_with(graph, model, &options.vocab, options.convert);
+        Self::load_quads(quads, model, options)
+    }
+
+    /// Loads pre-converted quads (used by enrichment flows that add
+    /// ontology triples before loading).
+    pub fn load_quads(
+        quads: Vec<Quad>,
+        model: PgRdfModel,
+        options: LoadOptions,
+    ) -> Result<Self, CoreError> {
+        // Table 9: "the GPSCM index is not required in the SP scheme" —
+        // RF and SP produce no named graphs, so G-led indexes are dead
+        // weight and are dropped (this is what keeps the SP total storage
+        // close to NG despite its extra triples).
+        let mut indexes = options.indexes.clone();
+        if !matches!(model, PgRdfModel::NG) {
+            indexes.retain(|k| k.0[0] != quadstore::Component::G);
+            if indexes.is_empty() {
+                indexes = options.indexes.clone();
+            }
+        }
+        let mut store = Store::with_default_indexes(&indexes);
+        match options.layout {
+            PartitionLayout::Monolithic => {
+                store.create_model(&options.base_name)?;
+                store.bulk_load(&options.base_name, &quads)?;
+            }
+            PartitionLayout::Partitioned => {
+                let names = PartitionNames::new(&options.base_name);
+                for class in QuadClass::ALL {
+                    store.create_model(names.of(class))?;
+                }
+                let mut buckets: [Vec<&Quad>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+                for quad in &quads {
+                    let class = classify(quad, &options.vocab, model);
+                    let idx = QuadClass::ALL
+                        .iter()
+                        .position(|&c| c == class)
+                        .expect("class in ALL");
+                    buckets[idx].push(quad);
+                }
+                for (class, bucket) in QuadClass::ALL.iter().zip(buckets) {
+                    store.bulk_load(names.of(*class), bucket.into_iter())?;
+                }
+                store.create_virtual_model(
+                    &names.all,
+                    &[
+                        names.topology.as_str(),
+                        names.node_kv.as_str(),
+                        names.edge_kv.as_str(),
+                    ],
+                )?;
+                store.create_virtual_model(
+                    &names.topology_nodekv,
+                    &[names.topology.as_str(), names.node_kv.as_str()],
+                )?;
+                store.create_virtual_model(
+                    &names.topology_edgekv,
+                    &[names.topology.as_str(), names.edge_kv.as_str()],
+                )?;
+            }
+        }
+        Ok(PgRdfStore {
+            store,
+            model,
+            vocab: options.vocab,
+            layout: options.layout,
+            base: options.base_name,
+        })
+    }
+
+    /// The PG-as-RDF model in use.
+    pub fn model(&self) -> PgRdfModel {
+        self.model
+    }
+
+    /// The IRI vocabulary.
+    pub fn vocab(&self) -> &PgVocab {
+        &self.vocab
+    }
+
+    /// The physical layout.
+    pub fn layout(&self) -> PartitionLayout {
+        self.layout
+    }
+
+    /// The underlying quad store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The dataset name queries run against (the model, or the virtual
+    /// union model when partitioned).
+    pub fn dataset_name(&self) -> String {
+        match self.layout {
+            PartitionLayout::Monolithic => self.base.clone(),
+            PartitionLayout::Partitioned => PartitionNames::new(&self.base).all,
+        }
+    }
+
+    /// Partition names (partitioned layout only).
+    pub fn partition_names(&self) -> Option<PartitionNames> {
+        match self.layout {
+            PartitionLayout::Monolithic => None,
+            PartitionLayout::Partitioned => Some(PartitionNames::new(&self.base)),
+        }
+    }
+
+    /// Runs a SPARQL query against the full dataset.
+    pub fn query(&self, text: &str) -> Result<QueryResults, CoreError> {
+        Ok(sparql::query(&self.store, &self.dataset_name(), text)?)
+    }
+
+    /// Runs a SELECT and returns solutions.
+    pub fn select(&self, text: &str) -> Result<Solutions, CoreError> {
+        Ok(sparql::select(&self.store, &self.dataset_name(), text)?)
+    }
+
+    /// Runs a SELECT against one partition (Table 4: "a user can choose
+    /// the appropriate RDF dataset for each query").
+    pub fn select_in(&self, dataset: &str, text: &str) -> Result<Solutions, CoreError> {
+        Ok(sparql::select(&self.store, dataset, text)?)
+    }
+
+    /// Scalar convenience for COUNT queries.
+    pub fn count(&self, text: &str) -> Result<i64, CoreError> {
+        let sols = self.select(text)?;
+        sols.scalar_i64()
+            .ok_or_else(|| CoreError::NotScalar(sols.len()))
+    }
+
+    /// Renders the query plan (Table 5 analogue).
+    pub fn explain(&self, text: &str) -> Result<String, CoreError> {
+        Ok(sparql::explain_query(&self.store, &self.dataset_name(), text)?)
+    }
+
+    /// A query builder for this store's model and vocabulary.
+    pub fn queries(&self) -> QuerySet {
+        QuerySet::new(self.vocab.clone(), self.model)
+    }
+
+    /// Executes a SPARQL Update. Only available on the monolithic layout
+    /// (partitioned DML would need per-class routing, which the paper
+    /// leaves to future work).
+    pub fn update(&mut self, text: &str) -> Result<UpdateStats, CoreError> {
+        match self.layout {
+            PartitionLayout::Monolithic => {
+                let base = self.base.clone();
+                Ok(sparql::update(&mut self.store, &base, text)?)
+            }
+            PartitionLayout::Partitioned => Err(CoreError::UpdateOnPartitioned),
+        }
+    }
+
+    /// Dataset statistics (Table 8 analogue).
+    pub fn stats(&self) -> ModelStats {
+        match self.layout {
+            PartitionLayout::Monolithic => {
+                ModelStats::compute(self.store.model(&self.base).expect("model exists"))
+            }
+            PartitionLayout::Partitioned => {
+                let names = PartitionNames::new(&self.base);
+                ModelStats::compute_union(
+                    &names.all,
+                    QuadClass::ALL
+                        .iter()
+                        .map(|&c| self.store.model(names.of(c)).expect("partition exists")),
+                )
+            }
+        }
+    }
+
+    /// Storage report (Table 9 analogue).
+    pub fn storage_report(&self) -> StorageReport {
+        match self.layout {
+            PartitionLayout::Monolithic => StorageReport::compute(&self.store, &[&self.base]),
+            PartitionLayout::Partitioned => {
+                let names = PartitionNames::new(&self.base);
+                StorageReport::compute(
+                    &self.store,
+                    &[&names.topology, &names.node_kv, &names.edge_kv],
+                )
+            }
+        }
+    }
+
+    /// All stored quads, decoded.
+    pub fn quads(&self) -> Vec<Quad> {
+        let view = self
+            .store
+            .dataset(&self.dataset_name())
+            .expect("dataset exists");
+        view.scan_decoded(quadstore::QuadPattern::any()).collect()
+    }
+
+    /// Reconstructs the property graph (round trip).
+    pub fn to_property_graph(&self) -> Result<PropertyGraph, CoreError> {
+        roundtrip::to_property_graph(&self.quads(), self.model, &self.vocab)
+    }
+
+    /// Persists the store (quads, indexes, partitions) plus the PG-as-RDF
+    /// metadata into a directory.
+    pub fn save_to_dir(&self, dir: &std::path::Path) -> Result<(), CoreError> {
+        quadstore::persist::save_to_dir(&self.store, dir)?;
+        let meta = format!(
+            "model\t{}\nlayout\t{}\nbase\t{}\nvocab\t{}\t{}\t{}\t{}\t{}\n",
+            self.model.name(),
+            match self.layout {
+                PartitionLayout::Monolithic => "monolithic",
+                PartitionLayout::Partitioned => "partitioned",
+            },
+            self.base,
+            self.vocab.base,
+            self.vocab.rel_ns,
+            self.vocab.key_ns,
+            self.vocab.vertex_prefix,
+            self.vocab.edge_prefix,
+        );
+        std::fs::write(dir.join("pgrdf.meta"), meta)
+            .map_err(|e| CoreError::Store(quadstore::StoreError::Io(e.to_string())))
+    }
+
+    /// Loads a store previously written by [`Self::save_to_dir`].
+    pub fn load_from_dir(dir: &std::path::Path) -> Result<Self, CoreError> {
+        let store = quadstore::persist::load_from_dir(dir)?;
+        let meta = std::fs::read_to_string(dir.join("pgrdf.meta"))
+            .map_err(|e| CoreError::Store(quadstore::StoreError::Io(e.to_string())))?;
+        let mut model = None;
+        let mut layout = None;
+        let mut base = None;
+        let mut vocab = None;
+        for line in meta.lines() {
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields.first().copied() {
+                Some("model") if fields.len() == 2 => {
+                    model = match fields[1] {
+                        "RF" => Some(PgRdfModel::RF),
+                        "NG" => Some(PgRdfModel::NG),
+                        "SP" => Some(PgRdfModel::SP),
+                        _ => None,
+                    };
+                }
+                Some("layout") if fields.len() == 2 => {
+                    layout = match fields[1] {
+                        "monolithic" => Some(PartitionLayout::Monolithic),
+                        "partitioned" => Some(PartitionLayout::Partitioned),
+                        _ => None,
+                    };
+                }
+                Some("base") if fields.len() == 2 => base = Some(fields[1].to_string()),
+                Some("vocab") if fields.len() == 6 => {
+                    vocab = Some(PgVocab {
+                        base: fields[1].to_string(),
+                        rel_ns: fields[2].to_string(),
+                        key_ns: fields[3].to_string(),
+                        vertex_prefix: fields[4].to_string(),
+                        edge_prefix: fields[5].to_string(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        let bad_meta =
+            || CoreError::Store(quadstore::StoreError::Manifest("pgrdf.meta incomplete".into()));
+        Ok(PgRdfStore {
+            store,
+            model: model.ok_or_else(bad_meta)?,
+            vocab: vocab.ok_or_else(bad_meta)?,
+            layout: layout.ok_or_else(bad_meta)?,
+            base: base.ok_or_else(bad_meta)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_query_all_models() {
+        let graph = PropertyGraph::sample_figure1();
+        for model in PgRdfModel::ALL {
+            let store = PgRdfStore::load(&graph, model).unwrap();
+            let qs = store.queries();
+            // "who follows whom since when" via Q2-style edge-KV access.
+            let sols = store.select(&qs.q2_edge_kvs()).unwrap();
+            assert_eq!(
+                sols.rows.len(),
+                1,
+                "{model}: one follows edge with one KV, got {sols:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_layout_matches_monolithic_results() {
+        let graph = PropertyGraph::sample_figure1();
+        for model in PgRdfModel::ALL {
+            let mono = PgRdfStore::load(&graph, model).unwrap();
+            let part = PgRdfStore::load_with(
+                &graph,
+                model,
+                LoadOptions { layout: PartitionLayout::Partitioned, ..Default::default() },
+            )
+            .unwrap();
+            let qs = mono.queries();
+            for q in [qs.q2_edge_kvs(), qs.q3_node_kvs("Amy"), qs.q4_all_edges()] {
+                let a = mono.select(&q).unwrap();
+                let b = part.select(&q).unwrap();
+                assert_eq!(a.len(), b.len(), "{model}: {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_targeted_query() {
+        let graph = PropertyGraph::sample_figure1();
+        let store = PgRdfStore::load_with(
+            &graph,
+            PgRdfModel::NG,
+            LoadOptions { layout: PartitionLayout::Partitioned, ..Default::default() },
+        )
+        .unwrap();
+        let names = store.partition_names().unwrap();
+        // Q1 (edge traversal only) can run against the topology partition
+        // alone (Table 4).
+        let qs = store.queries();
+        let sols = store.select_in(&names.topology, &qs.q4_all_edges()).unwrap();
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_through_store() {
+        let graph = PropertyGraph::sample_figure1();
+        for model in PgRdfModel::ALL {
+            let store = PgRdfStore::load(&graph, model).unwrap();
+            let back = store.to_property_graph().unwrap();
+            assert_eq!(back.vertex_count(), graph.vertex_count());
+            assert_eq!(back.edge_count(), graph.edge_count());
+            assert_eq!(back.edge_kv_count(), graph.edge_kv_count());
+        }
+    }
+
+    #[test]
+    fn update_on_monolithic_only() {
+        let graph = PropertyGraph::sample_figure1();
+        let mut store = PgRdfStore::load(&graph, PgRdfModel::NG).unwrap();
+        let stats = store
+            .update(
+                "PREFIX key: <http://pg/k/>\n\
+                 INSERT DATA { <http://pg/v1> key:city \"Boston\" }",
+            )
+            .unwrap();
+        assert_eq!(stats.inserted, 1);
+        let mut part = PgRdfStore::load_with(
+            &graph,
+            PgRdfModel::NG,
+            LoadOptions { layout: PartitionLayout::Partitioned, ..Default::default() },
+        )
+        .unwrap();
+        assert!(matches!(
+            part.update("INSERT DATA { <http://x> <http://y> <http://z> }"),
+            Err(CoreError::UpdateOnPartitioned)
+        ));
+    }
+
+    #[test]
+    fn count_helper() {
+        let graph = PropertyGraph::sample_figure1();
+        let store = PgRdfStore::load(&graph, PgRdfModel::NG).unwrap();
+        let n = store
+            .count(
+                "PREFIX rel: <http://pg/r/>\n\
+                 SELECT (COUNT(*) AS ?c) WHERE { ?x rel:follows ?y }",
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+}

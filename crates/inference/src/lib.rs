@@ -1,0 +1,18 @@
+//! # inference
+//!
+//! A forward-chaining rule engine over the quad store, standing in for
+//! Oracle's native RDFS/OWL inference (§5.2 of the paper): built-in RDFS
+//! rules, the `owl:sameAs` / `owl:equivalentProperty` slices used for
+//! linked-data enrichment, and user-defined rules (the `:hasTagR`
+//! example). Entailments are materialised into a separate semantic model,
+//! queried together with the source data through a virtual model.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rdfs;
+pub mod rule;
+
+pub use engine::{InferenceEngine, InferenceStats};
+pub use rdfs::{equivalent_property_rules, rdfs_rules, same_as_rules};
+pub use rule::{Atom, Rule, RuleTerm};

@@ -1,0 +1,1 @@
+//! Placeholder module; replaced as the crate is implemented.

@@ -1,0 +1,32 @@
+//! Property-graph errors.
+
+use std::fmt;
+
+/// Errors raised by property-graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgError {
+    /// Referenced vertex does not exist.
+    UnknownVertex(u64),
+    /// Referenced edge does not exist.
+    UnknownEdge(u64),
+    /// Edge ID already in use.
+    DuplicateEdge(u64),
+    /// A relational value failed to parse under its type tag.
+    BadValue(String, String),
+    /// A text-format parse error.
+    Parse(String),
+}
+
+impl fmt::Display for PgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgError::UnknownVertex(id) => write!(f, "unknown vertex: {id}"),
+            PgError::UnknownEdge(id) => write!(f, "unknown edge: {id}"),
+            PgError::DuplicateEdge(id) => write!(f, "duplicate edge id: {id}"),
+            PgError::BadValue(ty, v) => write!(f, "cannot parse {v:?} as {ty}"),
+            PgError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PgError {}

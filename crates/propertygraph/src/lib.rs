@@ -1,0 +1,24 @@
+//! # propertygraph
+//!
+//! The property-graph side of the paper: a directed, multi-relational,
+//! key/value-annotated graph with a Blueprints-style API
+//! ([`PropertyGraph`]), the Figure 3 relational representation
+//! ([`relational::RelationalGraph`]), a TSV interchange format
+//! ([`csv`]), and a procedural Gremlin-style traversal API
+//! ([`traversal::Traversal`]) — the alternative the paper's conclusion
+//! recommends for length-bounded path queries.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod error;
+pub mod graph;
+pub mod relational;
+pub mod traversal;
+pub mod value;
+
+pub use error::PgError;
+pub use graph::{Edge, EdgeId, PropertyGraph, Vertex, VertexId};
+pub use relational::{EdgeRow, KvRow, RelationalGraph};
+pub use traversal::{count_triangles, enumerate_paths, shortest_path, Traversal};
+pub use value::PropValue;

@@ -1,0 +1,145 @@
+//! Property values.
+//!
+//! Property-graph key/value properties hold scalars only — the paper makes
+//! this point explicitly ("In property graphs, key/value properties for
+//! edges can only be scalars", §1); linking an edge to another vertex is
+//! something only the RDF encodings add.
+
+use std::fmt;
+
+/// A scalar property value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropValue {
+    /// A string (`VARCHAR` in the paper's relational schema, Fig. 3).
+    Str(String),
+    /// An integer (`NUMBER`).
+    Int(i64),
+    /// A double.
+    Double(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl PropValue {
+    /// The relational type tag used by the Fig. 3 `ObjKVs` table.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            PropValue::Str(_) => "VARCHAR",
+            PropValue::Int(_) => "NUMBER",
+            PropValue::Double(_) => "DOUBLE",
+            PropValue::Bool(_) => "BOOLEAN",
+        }
+    }
+
+    /// Lexical form (used by the relational export and the RDF mapping).
+    pub fn lexical(&self) -> String {
+        match self {
+            PropValue::Str(s) => s.clone(),
+            PropValue::Int(i) => i.to_string(),
+            PropValue::Double(d) => d.to_string(),
+            PropValue::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Parses a lexical form under a relational type tag (inverse of
+    /// [`Self::type_name`] + [`Self::lexical`]).
+    pub fn parse(type_name: &str, lexical: &str) -> Option<PropValue> {
+        match type_name {
+            "VARCHAR" => Some(PropValue::Str(lexical.to_string())),
+            "NUMBER" => lexical.parse().ok().map(PropValue::Int),
+            "DOUBLE" => lexical.parse().ok().map(PropValue::Double),
+            "BOOLEAN" => lexical.parse().ok().map(PropValue::Bool),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lexical())
+    }
+}
+
+impl From<&str> for PropValue {
+    fn from(s: &str) -> Self {
+        PropValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for PropValue {
+    fn from(s: String) -> Self {
+        PropValue::Str(s)
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(i: i64) -> Self {
+        PropValue::Int(i)
+    }
+}
+
+impl From<i32> for PropValue {
+    fn from(i: i32) -> Self {
+        PropValue::Int(i as i64)
+    }
+}
+
+impl From<f64> for PropValue {
+    fn from(d: f64) -> Self {
+        PropValue::Double(d)
+    }
+}
+
+impl From<bool> for PropValue {
+    fn from(b: bool) -> Self {
+        PropValue::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_match_figure_3() {
+        assert_eq!(PropValue::from("Amy").type_name(), "VARCHAR");
+        assert_eq!(PropValue::from(23).type_name(), "NUMBER");
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for v in [
+            PropValue::from("x"),
+            PropValue::from(42),
+            PropValue::from(2.5),
+            PropValue::from(true),
+        ] {
+            assert_eq!(PropValue::parse(v.type_name(), &v.lexical()), Some(v));
+        }
+        assert_eq!(PropValue::parse("NUMBER", "abc"), None);
+        assert_eq!(PropValue::parse("BLOB", "x"), None);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(PropValue::from("a").as_str(), Some("a"));
+        assert_eq!(PropValue::from(5).as_int(), Some(5));
+        assert_eq!(PropValue::from(5).as_str(), None);
+    }
+}

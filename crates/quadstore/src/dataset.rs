@@ -1,0 +1,181 @@
+//! Dataset views: the query target resolved from one model, a virtual
+//! model, or an explicit union of models (§3.2, Table 4: "a user can choose
+//! the appropriate RDF dataset for each query").
+
+use rdf_model::Quad;
+
+use crate::ids::{EncodedQuad, QuadPattern};
+use crate::model::{AccessPath, SemanticModel};
+use crate::store::Store;
+
+/// A read-only union view over one or more semantic models, bound to the
+/// store whose dictionary decodes its quads.
+#[derive(Clone)]
+pub struct DatasetView<'a> {
+    store: &'a Store,
+    members: Vec<&'a SemanticModel>,
+}
+
+impl<'a> DatasetView<'a> {
+    pub(crate) fn new(store: &'a Store, members: Vec<&'a SemanticModel>) -> Self {
+        DatasetView { store, members }
+    }
+
+    pub(crate) fn into_members(self) -> Vec<&'a SemanticModel> {
+        self.members
+    }
+
+    /// The owning store (for term decoding).
+    pub fn store(&self) -> &'a Store {
+        self.store
+    }
+
+    /// Names of the member models, in view order.
+    pub fn member_names(&self) -> Vec<&'a str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Total visible quads across members.
+    pub fn len(&self) -> usize {
+        self.members.iter().map(|m| m.len()).sum()
+    }
+
+    /// True if every member is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.iter().all(|m| m.is_empty())
+    }
+
+    /// Scans quads matching `pattern` across all member models. Each member
+    /// uses its own best local index (Oracle's partition-local indexes).
+    pub fn scan(&self, pattern: QuadPattern) -> impl Iterator<Item = EncodedQuad> + 'a {
+        let members = self.members.clone();
+        members.into_iter().flat_map(move |m| m.scan(pattern))
+    }
+
+    /// Decoded scan, for callers that want terms rather than IDs.
+    pub fn scan_decoded(&self, pattern: QuadPattern) -> impl Iterator<Item = Quad> + 'a {
+        let store = self.store;
+        self.scan(pattern).map(move |q| store.decode(&q))
+    }
+
+    /// Whether any member contains the quad.
+    pub fn contains(&self, quad: &EncodedQuad) -> bool {
+        self.members.iter().any(|m| m.contains(quad))
+    }
+
+    /// Total estimated matches for `pattern` (sum over members).
+    pub fn estimate(&self, pattern: &QuadPattern) -> usize {
+        self.members.iter().map(|m| m.estimate(pattern)).sum()
+    }
+
+    /// The access path each member would use for `pattern`; the first entry
+    /// is what `EXPLAIN` reports for single-member views.
+    pub fn access_paths(&self, pattern: &QuadPattern) -> Vec<(&'a str, AccessPath)> {
+        self.members
+            .iter()
+            .map(|m| (m.name(), m.choose_index(pattern)))
+            .collect()
+    }
+
+    /// Samples the scan of `pattern` to estimate the average number of
+    /// matches per distinct combination of the given quad positions
+    /// (0=S, 1=P, 2=O, 3=G). This is the planner's per-probe fanout
+    /// estimate — a lightweight stand-in for Oracle's
+    /// `optimizer_dynamic_sampling` (§4.4).
+    pub fn avg_fanout(&self, pattern: QuadPattern, group_positions: &[usize]) -> f64 {
+        const SAMPLE: usize = 1024;
+        let mut count = 0usize;
+        let mut groups = std::collections::HashSet::new();
+        for quad in self.scan(pattern).take(SAMPLE) {
+            count += 1;
+            let key: Vec<u64> = group_positions.iter().map(|&p| quad[p]).collect();
+            groups.insert(key);
+        }
+        if groups.is_empty() {
+            1.0
+        } else {
+            count as f64 / groups.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GraphConstraint;
+    use rdf_model::{GraphName, Term, TermId};
+
+    fn store_with_two_models() -> Store {
+        let mut store = Store::new();
+        store.create_model("a").unwrap();
+        store.create_model("b").unwrap();
+        let q1 = Quad::triple(
+            Term::iri("http://s1"),
+            Term::iri("http://p"),
+            Term::iri("http://o"),
+        )
+        .unwrap();
+        let q2 = Quad::new(
+            Term::iri("http://s2"),
+            Term::iri("http://p"),
+            Term::iri("http://o"),
+            GraphName::iri("http://g"),
+        )
+        .unwrap();
+        store.insert("a", &q1).unwrap();
+        store.insert("b", &q2).unwrap();
+        store
+    }
+
+    #[test]
+    fn scan_unions_members() {
+        let store = store_with_two_models();
+        let view = store.dataset_union(&["a", "b"]).unwrap();
+        let p = store.term_id(&Term::iri("http://p")).unwrap();
+        let pat = QuadPattern { s: None, p: Some(p), o: None, g: GraphConstraint::Any };
+        assert_eq!(view.scan(pat).count(), 2);
+    }
+
+    #[test]
+    fn graph_constraint_splits_members() {
+        let store = store_with_two_models();
+        let view = store.dataset_union(&["a", "b"]).unwrap();
+        let default_only = QuadPattern::default_graph();
+        assert_eq!(view.scan(default_only).count(), 1);
+        let named = QuadPattern { s: None, p: None, o: None, g: GraphConstraint::AnyNamed };
+        assert_eq!(view.scan(named).count(), 1);
+    }
+
+    #[test]
+    fn estimate_sums_members() {
+        let store = store_with_two_models();
+        let view = store.dataset_union(&["a", "b"]).unwrap();
+        let p = store.term_id(&Term::iri("http://p")).unwrap();
+        let pat = QuadPattern { s: None, p: Some(p), o: None, g: GraphConstraint::Any };
+        assert_eq!(view.estimate(&pat), 2);
+    }
+
+    #[test]
+    fn scan_decoded_yields_terms() {
+        let store = store_with_two_models();
+        let view = store.dataset("a").unwrap();
+        let quads: Vec<Quad> = view.scan_decoded(QuadPattern::any()).collect();
+        assert_eq!(quads.len(), 1);
+        assert_eq!(quads[0].subject, Term::iri("http://s1"));
+    }
+
+    #[test]
+    fn access_paths_report_per_member() {
+        let store = store_with_two_models();
+        let view = store.dataset_union(&["a", "b"]).unwrap();
+        let pat = QuadPattern {
+            s: None,
+            p: Some(TermId(1)),
+            o: None,
+            g: GraphConstraint::Any,
+        };
+        let paths = view.access_paths(&pat);
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|(_, p)| p.bound_prefix == 1));
+    }
+}

@@ -1,0 +1,60 @@
+//! Quad-store errors.
+
+use std::fmt;
+
+use rdf_model::ModelError;
+
+/// Errors raised by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Referenced semantic (or virtual) model does not exist.
+    UnknownModel(String),
+    /// A model or virtual model with this name already exists.
+    DuplicateModel(String),
+    /// A semantic model must have at least one index.
+    NoIndexes,
+    /// A virtual model must have at least one member.
+    EmptyVirtualModel,
+    /// Virtual models cannot nest (Oracle virtual models union base models).
+    NestedVirtualModel(String),
+    /// An underlying data-model error (e.g. N-Quads syntax).
+    Model(ModelError),
+    /// Filesystem failure during save/load.
+    Io(String),
+    /// A corrupt or unreadable store manifest.
+    Manifest(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownModel(name) => write!(f, "unknown model: {name}"),
+            StoreError::DuplicateModel(name) => write!(f, "model already exists: {name}"),
+            StoreError::NoIndexes => write!(f, "a semantic model needs at least one index"),
+            StoreError::EmptyVirtualModel => {
+                write!(f, "a virtual model needs at least one member model")
+            }
+            StoreError::NestedVirtualModel(name) => {
+                write!(f, "virtual models cannot contain virtual models: {name}")
+            }
+            StoreError::Model(e) => write!(f, "{e}"),
+            StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StoreError::Manifest(msg) => write!(f, "manifest error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for StoreError {
+    fn from(e: ModelError) -> Self {
+        StoreError::Model(e)
+    }
+}

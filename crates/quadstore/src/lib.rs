@@ -1,0 +1,36 @@
+//! # quadstore
+//!
+//! A from-scratch, dictionary-encoded RDF quad store modelled on the
+//! Oracle RDF Semantic Graph capabilities the paper relies on (§3.1):
+//!
+//! * **Semantic models** — named partitions of quads, each with its own
+//!   local composite indexes ([`SemanticModel`]).
+//! * **Virtual models** — UNION views over semantic models
+//!   ([`Store::create_virtual_model`]).
+//! * **Composite indexes** — any permutation of S/P/C/G (+ implicit M),
+//!   e.g. `PCSGM`, `PSCGM`, `GPSCM` ([`IndexKind`]); scans are index range
+//!   scans over sorted ID arrays, or full index scans when no prefix binds.
+//! * **Bulk load** from N-Quads ([`bulk::load_nquads`]) and incremental
+//!   DML through a delta overlay.
+//! * **Statistics** for planner selectivity and the Table 8/9 reports
+//!   ([`ModelStats`], [`StorageReport`]).
+
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod dataset;
+pub mod error;
+pub mod ids;
+pub mod index;
+pub mod model;
+pub mod persist;
+pub mod stats;
+pub mod store;
+
+pub use dataset::DatasetView;
+pub use error::StoreError;
+pub use ids::{EncodedQuad, GraphConstraint, QuadPattern};
+pub use index::{Component, IndexKind, SortedIndex};
+pub use model::{AccessPath, SemanticModel};
+pub use stats::{ModelStats, StorageReport, StorageRow};
+pub use store::Store;

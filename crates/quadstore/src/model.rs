@@ -1,0 +1,426 @@
+//! Semantic models: the unit of storage and partitioning.
+//!
+//! Oracle "allows creating one or more semantic models each of which can
+//! hold an RDF dataset" and implements each partition "as a separate model"
+//! (§3.1–3.2). A model owns its local indexes; incremental DML goes to a
+//! small delta overlay that [`SemanticModel::compact`] folds into the
+//! sorted base arrays (the same bulk-vs-incremental split real stores use).
+
+use std::collections::BTreeSet;
+
+use crate::error::StoreError;
+use crate::ids::{EncodedQuad, QuadPattern};
+use crate::index::{IndexKind, SortedIndex};
+
+/// Decision record of which access path a scan used; surfaces in the
+/// SPARQL `EXPLAIN` output (Table 5 analogue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPath {
+    /// Index chosen for the scan.
+    pub index: IndexKind,
+    /// Number of leading key components the pattern binds; `0` means a
+    /// full index scan.
+    pub bound_prefix: usize,
+}
+
+impl AccessPath {
+    /// `true` when the scan walks the entire index.
+    pub fn is_full_scan(&self) -> bool {
+        self.bound_prefix == 0
+    }
+}
+
+/// One semantic model: a set of quads plus its local indexes.
+#[derive(Debug)]
+pub struct SemanticModel {
+    name: String,
+    indexes: Vec<SortedIndex>,
+    index_kinds: Vec<IndexKind>,
+    /// Quads inserted since the last compaction (SPOG order).
+    delta_added: BTreeSet<EncodedQuad>,
+    /// Quads deleted since the last compaction.
+    delta_removed: BTreeSet<EncodedQuad>,
+    base_len: usize,
+}
+
+impl SemanticModel {
+    /// Creates an empty model with the given local indexes. At least one
+    /// index is required (it doubles as the primary storage).
+    pub fn new(name: impl Into<String>, index_kinds: &[IndexKind]) -> Result<Self, StoreError> {
+        if index_kinds.is_empty() {
+            return Err(StoreError::NoIndexes);
+        }
+        let mut kinds = index_kinds.to_vec();
+        kinds.dedup();
+        Ok(SemanticModel {
+            name: name.into(),
+            indexes: kinds.iter().map(|&k| SortedIndex::build(k, &[])).collect(),
+            index_kinds: kinds,
+            delta_added: BTreeSet::new(),
+            delta_removed: BTreeSet::new(),
+            base_len: 0,
+        })
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configured index kinds.
+    pub fn index_kinds(&self) -> &[IndexKind] {
+        &self.index_kinds
+    }
+
+    /// The built index structures.
+    pub fn indexes(&self) -> &[SortedIndex] {
+        &self.indexes
+    }
+
+    /// Number of quads visible (base − removed + added).
+    pub fn len(&self) -> usize {
+        self.base_len - self.delta_removed.len() + self.delta_added.len()
+    }
+
+    /// True if the model holds no quads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of uncompacted delta entries.
+    pub fn delta_len(&self) -> usize {
+        self.delta_added.len() + self.delta_removed.len()
+    }
+
+    fn primary(&self) -> &SortedIndex {
+        &self.indexes[0]
+    }
+
+    /// Whether the model currently contains the quad.
+    pub fn contains(&self, quad: &EncodedQuad) -> bool {
+        if self.delta_added.contains(quad) {
+            return true;
+        }
+        if self.delta_removed.contains(quad) {
+            return false;
+        }
+        self.primary().contains(quad)
+    }
+
+    /// Inserts one quad; returns `true` if it was not already present.
+    pub fn insert(&mut self, quad: EncodedQuad) -> bool {
+        if self.contains(&quad) {
+            return false;
+        }
+        if self.delta_removed.remove(&quad) {
+            return true; // resurrect a base quad
+        }
+        self.delta_added.insert(quad)
+    }
+
+    /// Removes one quad; returns `true` if it was present.
+    pub fn remove(&mut self, quad: EncodedQuad) -> bool {
+        if self.delta_added.remove(&quad) {
+            return true;
+        }
+        if self.delta_removed.contains(&quad) {
+            return false;
+        }
+        if self.primary().contains(&quad) {
+            self.delta_removed.insert(quad);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bulk-appends quads and rebuilds all indexes. Equivalent to N-Quads
+    /// bulk load in Oracle: much cheaper per quad than [`Self::insert`].
+    pub fn bulk_load(&mut self, quads: impl IntoIterator<Item = EncodedQuad>) {
+        let mut all: Vec<EncodedQuad> = self.iter_all().collect();
+        all.extend(quads);
+        self.rebuild(all);
+    }
+
+    /// Folds the DML delta into the sorted base arrays.
+    pub fn compact(&mut self) {
+        if self.delta_added.is_empty() && self.delta_removed.is_empty() {
+            return;
+        }
+        let all: Vec<EncodedQuad> = self.iter_all().collect();
+        self.rebuild(all);
+    }
+
+    fn rebuild(&mut self, mut all: Vec<EncodedQuad>) {
+        all.sort_unstable();
+        all.dedup();
+        self.base_len = all.len();
+        self.delta_added.clear();
+        self.delta_removed.clear();
+        // Each index is an independent sorted build over the same quads, so
+        // build them on scoped threads; worth it for bulk loads of millions
+        // of quads with 4+ indexes, harmless for small models.
+        let kinds = &self.index_kinds;
+        let quads = &all;
+        self.indexes = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = kinds
+                .iter()
+                .map(|&k| scope.spawn(move |_| SortedIndex::build(k, quads)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index build thread panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("index build scope panicked");
+    }
+
+    /// All quads currently visible, in unspecified order.
+    pub fn iter_all(&self) -> impl Iterator<Item = EncodedQuad> + '_ {
+        self.primary()
+            .scan_prefix(&[])
+            .filter(move |q| !self.delta_removed.contains(q))
+            .chain(self.delta_added.iter().copied())
+    }
+
+    /// Adds a new local index, built over the current quads (including the
+    /// DML delta, which is compacted first). No-op if already present.
+    pub fn add_index(&mut self, kind: IndexKind) {
+        if self.index_kinds.contains(&kind) {
+            return;
+        }
+        self.compact();
+        let all: Vec<EncodedQuad> = self.iter_all().collect();
+        self.index_kinds.push(kind);
+        self.indexes.push(SortedIndex::build(kind, &all));
+    }
+
+    /// Drops a local index. Fails if it is the last one (the primary index
+    /// doubles as storage).
+    pub fn drop_index(&mut self, kind: IndexKind) -> Result<(), StoreError> {
+        if let Some(pos) = self.index_kinds.iter().position(|&k| k == kind) {
+            if self.index_kinds.len() == 1 {
+                return Err(StoreError::NoIndexes);
+            }
+            self.index_kinds.remove(pos);
+            self.indexes.remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Picks the best local index for a pattern: the one whose key order
+    /// gives the longest bound prefix (ties broken by declaration order,
+    /// so PCSGM wins when several qualify — matching Table 5's plans).
+    pub fn choose_index(&self, pattern: &QuadPattern) -> AccessPath {
+        let mut best = 0usize;
+        let mut best_len = self.index_kinds[0].bound_prefix_len(pattern);
+        for (i, kind) in self.index_kinds.iter().enumerate().skip(1) {
+            let len = kind.bound_prefix_len(pattern);
+            if len > best_len {
+                best = i;
+                best_len = len;
+            }
+        }
+        AccessPath { index: self.index_kinds[best], bound_prefix: best_len }
+    }
+
+    /// Scans quads matching `pattern` through the best index, overlaying
+    /// the DML delta.
+    pub fn scan<'a>(&'a self, pattern: QuadPattern) -> impl Iterator<Item = EncodedQuad> + 'a {
+        let path = self.choose_index(&pattern);
+        let idx = self
+            .indexes
+            .iter()
+            .find(|i| i.kind() == path.index)
+            .expect("chosen index exists");
+        idx.scan(pattern)
+            .filter(move |q| !self.delta_removed.contains(q))
+            .chain(
+                self.delta_added
+                    .iter()
+                    .copied()
+                    .filter(move |q| pattern.matches(q)),
+            )
+    }
+
+    /// Estimated number of matches for `pattern` (exact on the base index
+    /// range, plus the whole delta as slack).
+    pub fn estimate(&self, pattern: &QuadPattern) -> usize {
+        let path = self.choose_index(pattern);
+        let idx = self
+            .indexes
+            .iter()
+            .find(|i| i.kind() == path.index)
+            .expect("chosen index exists");
+        let prefix = idx.prefix_for(pattern);
+        idx.prefix_count(&prefix) + self.delta_added.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GraphConstraint;
+    use rdf_model::TermId;
+
+    fn model() -> SemanticModel {
+        SemanticModel::new("m", &[IndexKind::PCSGM, IndexKind::GSPCM]).unwrap()
+    }
+
+    #[test]
+    fn requires_at_least_one_index() {
+        assert!(matches!(SemanticModel::new("m", &[]), Err(StoreError::NoIndexes)));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut m = model();
+        let q = [1, 2, 3, 0];
+        assert!(m.insert(q));
+        assert!(!m.insert(q));
+        assert!(m.contains(&q));
+        assert_eq!(m.len(), 1);
+        assert!(m.remove(q));
+        assert!(!m.remove(q));
+        assert!(!m.contains(&q));
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn bulk_load_dedups_against_existing() {
+        let mut m = model();
+        m.insert([1, 2, 3, 0]);
+        m.bulk_load(vec![[1, 2, 3, 0], [4, 5, 6, 0]]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.delta_len(), 0);
+    }
+
+    #[test]
+    fn remove_base_quad_then_reinsert() {
+        let mut m = model();
+        m.bulk_load(vec![[1, 2, 3, 0]]);
+        assert!(m.remove([1, 2, 3, 0]));
+        assert!(!m.contains(&[1, 2, 3, 0]));
+        assert!(m.insert([1, 2, 3, 0]));
+        assert!(m.contains(&[1, 2, 3, 0]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn compact_folds_delta() {
+        let mut m = model();
+        m.bulk_load(vec![[1, 2, 3, 0], [4, 5, 6, 0]]);
+        m.remove([1, 2, 3, 0]);
+        m.insert([7, 8, 9, 2]);
+        assert_eq!(m.delta_len(), 2);
+        m.compact();
+        assert_eq!(m.delta_len(), 0);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&[7, 8, 9, 2]));
+        assert!(!m.contains(&[1, 2, 3, 0]));
+    }
+
+    #[test]
+    fn scan_overlays_delta() {
+        let mut m = model();
+        m.bulk_load(vec![[1, 10, 3, 0], [2, 10, 3, 0]]);
+        m.remove([1, 10, 3, 0]);
+        m.insert([5, 10, 6, 0]);
+        let pat = QuadPattern {
+            s: None,
+            p: Some(TermId(10)),
+            o: None,
+            g: GraphConstraint::DefaultOnly,
+        };
+        let mut hits: Vec<_> = m.scan(pat).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![[2, 10, 3, 0], [5, 10, 6, 0]]);
+    }
+
+    #[test]
+    fn choose_index_prefers_longest_prefix() {
+        let m = SemanticModel::new(
+            "m",
+            &[IndexKind::PCSGM, IndexKind::PSCGM, IndexKind::GSPCM],
+        )
+        .unwrap();
+        // S and G bound, P unbound: GSPCM binds prefix 2, P-led bind 0.
+        let pat = QuadPattern {
+            s: Some(TermId(1)),
+            p: None,
+            o: None,
+            g: GraphConstraint::Named(TermId(9)),
+        };
+        let path = m.choose_index(&pat);
+        assert_eq!(path.index, IndexKind::GSPCM);
+        assert_eq!(path.bound_prefix, 2);
+        assert!(!path.is_full_scan());
+    }
+
+    #[test]
+    fn unconstrained_scan_is_full_scan() {
+        let m = model();
+        let path = m.choose_index(&QuadPattern::any());
+        assert!(path.is_full_scan());
+    }
+
+    #[test]
+    fn estimate_tracks_range_size() {
+        let mut m = model();
+        m.bulk_load(vec![[1, 10, 3, 0], [2, 10, 4, 0], [3, 11, 5, 0]]);
+        let pat = QuadPattern {
+            s: None,
+            p: Some(TermId(10)),
+            o: None,
+            g: GraphConstraint::DefaultOnly,
+        };
+        assert_eq!(m.estimate(&pat), 2);
+    }
+}
+
+#[cfg(test)]
+mod index_mgmt_tests {
+    use super::*;
+    use crate::ids::GraphConstraint;
+    use rdf_model::TermId;
+
+    #[test]
+    fn add_index_changes_access_path() {
+        let mut m = SemanticModel::new("m", &[IndexKind::PCSGM]).unwrap();
+        m.bulk_load(vec![[1, 2, 3, 4], [5, 2, 6, 7]]);
+        let pat = QuadPattern {
+            s: None,
+            p: None,
+            o: None,
+            g: GraphConstraint::Named(TermId(4)),
+        };
+        assert!(m.choose_index(&pat).is_full_scan(), "no G-led index yet");
+        m.add_index(IndexKind::GPSCM);
+        let path = m.choose_index(&pat);
+        assert_eq!(path.index, IndexKind::GPSCM);
+        assert_eq!(path.bound_prefix, 1);
+        assert_eq!(m.scan(pat).count(), 1);
+    }
+
+    #[test]
+    fn add_index_includes_delta() {
+        let mut m = SemanticModel::new("m", &[IndexKind::PCSGM]).unwrap();
+        m.insert([1, 2, 3, 0]);
+        m.add_index(IndexKind::SPCGM);
+        assert_eq!(m.indexes().len(), 2);
+        assert_eq!(m.indexes()[1].len(), 1, "delta compacted into new index");
+    }
+
+    #[test]
+    fn drop_index_keeps_at_least_one() {
+        let mut m = SemanticModel::new("m", &[IndexKind::PCSGM, IndexKind::PSCGM]).unwrap();
+        m.drop_index(IndexKind::PSCGM).unwrap();
+        assert!(matches!(
+            m.drop_index(IndexKind::PCSGM),
+            Err(StoreError::NoIndexes)
+        ));
+        // Dropping an absent index is a no-op.
+        m.drop_index(IndexKind::GSPCM).unwrap();
+        assert_eq!(m.index_kinds().len(), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Model statistics and the storage-characteristics report.
+//!
+//! [`ModelStats`] supplies the distinct-count columns of the paper's
+//! Table 8 (subjects / predicates / objects / named graphs) and
+//! [`StorageReport`] the physical-storage breakdown of Table 9 (per-index
+//! entry counts and estimated bytes, plus the values table).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ids::{G, O, P, S};
+use crate::model::SemanticModel;
+use crate::store::Store;
+
+/// Logical statistics of one semantic model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Model name.
+    pub name: String,
+    /// Total quads.
+    pub quads: usize,
+    /// Distinct subjects.
+    pub distinct_subjects: usize,
+    /// Distinct predicates.
+    pub distinct_predicates: usize,
+    /// Distinct objects.
+    pub distinct_objects: usize,
+    /// Distinct named graphs (the default graph is not counted).
+    pub distinct_named_graphs: usize,
+    /// Quads in named graphs.
+    pub quads_in_named_graphs: usize,
+}
+
+impl ModelStats {
+    /// Computes statistics by a single pass over the model.
+    pub fn compute(model: &SemanticModel) -> Self {
+        let mut subjects = HashSet::new();
+        let mut predicates = HashSet::new();
+        let mut objects = HashSet::new();
+        let mut graphs = HashSet::new();
+        let mut quads = 0usize;
+        let mut in_named = 0usize;
+        for quad in model.iter_all() {
+            quads += 1;
+            subjects.insert(quad[S]);
+            predicates.insert(quad[P]);
+            objects.insert(quad[O]);
+            if quad[G] != 0 {
+                graphs.insert(quad[G]);
+                in_named += 1;
+            }
+        }
+        ModelStats {
+            name: model.name().to_string(),
+            quads,
+            distinct_subjects: subjects.len(),
+            distinct_predicates: predicates.len(),
+            distinct_objects: objects.len(),
+            distinct_named_graphs: graphs.len(),
+            quads_in_named_graphs: in_named,
+        }
+    }
+
+    /// Aggregates statistics across several models as if they were one
+    /// dataset (distinct counts are unioned, not summed).
+    pub fn compute_union<'a>(
+        name: &str,
+        models: impl IntoIterator<Item = &'a SemanticModel>,
+    ) -> Self {
+        let mut subjects = HashSet::new();
+        let mut predicates = HashSet::new();
+        let mut objects = HashSet::new();
+        let mut graphs = HashSet::new();
+        let mut quads = 0usize;
+        let mut in_named = 0usize;
+        for model in models {
+            for quad in model.iter_all() {
+                quads += 1;
+                subjects.insert(quad[S]);
+                predicates.insert(quad[P]);
+                objects.insert(quad[O]);
+                if quad[G] != 0 {
+                    graphs.insert(quad[G]);
+                    in_named += 1;
+                }
+            }
+        }
+        ModelStats {
+            name: name.to_string(),
+            quads,
+            distinct_subjects: subjects.len(),
+            distinct_predicates: predicates.len(),
+            distinct_objects: objects.len(),
+            distinct_named_graphs: graphs.len(),
+            quads_in_named_graphs: in_named,
+        }
+    }
+}
+
+/// One row of the storage report: a database object and its size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageRow {
+    /// Object name, e.g. `"PCSGM Index (model m)"` or `"Values Table"`.
+    pub object: String,
+    /// Entry count (index keys, table rows, or dictionary terms).
+    pub entries: usize,
+    /// Estimated bytes.
+    pub bytes: usize,
+}
+
+/// A Table 9 analogue: the storage footprint of a set of models plus the
+/// shared values table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Per-object rows.
+    pub rows: Vec<StorageRow>,
+}
+
+impl StorageReport {
+    /// Builds the report for the given models of a store.
+    pub fn compute(store: &Store, model_names: &[&str]) -> Self {
+        let mut rows = Vec::new();
+        let mut total_quads = 0usize;
+        for name in model_names {
+            if let Some(model) = store.model(name) {
+                total_quads += model.len();
+                for index in model.indexes() {
+                    rows.push(StorageRow {
+                        object: format!("{} Index ({})", index.kind(), name),
+                        entries: index.len(),
+                        bytes: index.approx_bytes(),
+                    });
+                }
+            }
+        }
+        // The quads ("triples") table itself: one 32-byte encoded row each.
+        rows.insert(
+            0,
+            StorageRow {
+                object: "Quads Table".to_string(),
+                entries: total_quads,
+                bytes: total_quads * 32,
+            },
+        );
+        rows.push(StorageRow {
+            object: "Values Table".to_string(),
+            entries: store.dictionary().len(),
+            bytes: store.dictionary().approx_value_bytes(),
+        });
+        StorageReport { rows }
+    }
+
+    /// Total estimated bytes across all rows.
+    pub fn total_bytes(&self) -> usize {
+        self.rows.iter().map(|r| r.bytes).sum()
+    }
+}
+
+impl fmt::Display for StorageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<34} {:>12} {:>14}", "DB Object", "Entries", "Approx bytes")?;
+        for row in &self.rows {
+            writeln!(f, "{:<34} {:>12} {:>14}", row.object, row.entries, row.bytes)?;
+        }
+        writeln!(
+            f,
+            "{:<34} {:>12} {:>14}",
+            "Total",
+            "",
+            self.total_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use rdf_model::{GraphName, Quad, Term};
+
+    fn loaded_store() -> Store {
+        let mut store = Store::with_default_indexes(&[IndexKind::PCSGM, IndexKind::GPSCM]);
+        store.create_model("m").unwrap();
+        let quads = vec![
+            Quad::triple(Term::iri("http://s1"), Term::iri("http://p1"), Term::int(1)).unwrap(),
+            Quad::triple(Term::iri("http://s1"), Term::iri("http://p2"), Term::int(2)).unwrap(),
+            Quad::new(
+                Term::iri("http://s2"),
+                Term::iri("http://p1"),
+                Term::iri("http://s1"),
+                GraphName::iri("http://g1"),
+            )
+            .unwrap(),
+        ];
+        store.bulk_load("m", &quads).unwrap();
+        store
+    }
+
+    #[test]
+    fn model_stats_counts() {
+        let store = loaded_store();
+        let stats = ModelStats::compute(store.model("m").unwrap());
+        assert_eq!(stats.quads, 3);
+        assert_eq!(stats.distinct_subjects, 2);
+        assert_eq!(stats.distinct_predicates, 2);
+        assert_eq!(stats.distinct_objects, 3);
+        assert_eq!(stats.distinct_named_graphs, 1);
+        assert_eq!(stats.quads_in_named_graphs, 1);
+    }
+
+    #[test]
+    fn union_stats_dedup_across_models() {
+        let mut store = loaded_store();
+        store.create_model("n").unwrap();
+        let q =
+            Quad::triple(Term::iri("http://s1"), Term::iri("http://p1"), Term::int(1)).unwrap();
+        store.insert("n", &q).unwrap();
+        let stats = ModelStats::compute_union(
+            "u",
+            ["m", "n"].iter().map(|n| store.model(n).unwrap()),
+        );
+        assert_eq!(stats.quads, 4); // union view keeps duplicates per model
+        assert_eq!(stats.distinct_subjects, 2); // but distincts dedup
+    }
+
+    #[test]
+    fn storage_report_has_quads_indexes_and_values() {
+        let store = loaded_store();
+        let report = StorageReport::compute(&store, &["m"]);
+        assert_eq!(report.rows.len(), 4); // quads table + 2 indexes + values
+        assert_eq!(report.rows[0].object, "Quads Table");
+        assert_eq!(report.rows[0].entries, 3);
+        assert!(report.rows.iter().any(|r| r.object.contains("PCSGM")));
+        assert!(report.rows.iter().any(|r| r.object == "Values Table"));
+        assert!(report.total_bytes() > 0);
+        let rendered = report.to_string();
+        assert!(rendered.contains("Values Table"));
+    }
+}

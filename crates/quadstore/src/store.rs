@@ -1,0 +1,447 @@
+//! The store: a shared term dictionary plus named semantic models and
+//! virtual models (unions of models), mirroring the Oracle capabilities
+//! listed in §3.1 of the paper.
+
+use std::collections::BTreeMap;
+
+use rdf_model::{Dictionary, GraphName, Quad, Term, TermId};
+
+use crate::dataset::DatasetView;
+use crate::error::StoreError;
+use crate::ids::{EncodedQuad, G, O, P, S};
+use crate::index::IndexKind;
+use crate::model::SemanticModel;
+
+/// An in-memory, dictionary-encoded RDF quad store with named semantic
+/// models, virtual models, and configurable composite indexes.
+///
+/// ```
+/// use quadstore::Store;
+/// use rdf_model::{Quad, Term, GraphName};
+///
+/// let mut store = Store::new();
+/// store.create_model("social").unwrap();
+/// store
+///     .insert(
+///         "social",
+///         &Quad::new(
+///             Term::iri("http://pg/v1"),
+///             Term::iri("http://pg/r/follows"),
+///             Term::iri("http://pg/v2"),
+///             GraphName::iri("http://pg/e3"),
+///         )
+///         .unwrap(),
+///     )
+///     .unwrap();
+/// assert_eq!(store.model("social").unwrap().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Store {
+    dict: Dictionary,
+    models: BTreeMap<String, SemanticModel>,
+    virtual_models: BTreeMap<String, Vec<String>>,
+    default_indexes: Vec<IndexKind>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+impl Store {
+    /// A store whose models get Oracle's two default indexes
+    /// (PCSGM and PSCGM) unless created with an explicit index list.
+    pub fn new() -> Self {
+        Store::with_default_indexes(&[IndexKind::PCSGM, IndexKind::PSCGM])
+    }
+
+    /// A store with a custom default index configuration. The experiments
+    /// use [`IndexKind::PAPER_FOUR`].
+    pub fn with_default_indexes(kinds: &[IndexKind]) -> Self {
+        Store {
+            dict: Dictionary::new(),
+            models: BTreeMap::new(),
+            virtual_models: BTreeMap::new(),
+            default_indexes: kinds.to_vec(),
+        }
+    }
+
+    /// The shared term dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Creates an empty semantic model with the store's default indexes.
+    pub fn create_model(&mut self, name: &str) -> Result<(), StoreError> {
+        let kinds = self.default_indexes.clone();
+        self.create_model_with_indexes(name, &kinds)
+    }
+
+    /// Creates an empty semantic model with an explicit index list.
+    pub fn create_model_with_indexes(
+        &mut self,
+        name: &str,
+        kinds: &[IndexKind],
+    ) -> Result<(), StoreError> {
+        if self.models.contains_key(name) || self.virtual_models.contains_key(name) {
+            return Err(StoreError::DuplicateModel(name.to_string()));
+        }
+        self.models
+            .insert(name.to_string(), SemanticModel::new(name, kinds)?);
+        Ok(())
+    }
+
+    /// Drops a semantic model. Virtual models referencing it are dropped too.
+    pub fn drop_model(&mut self, name: &str) -> Result<(), StoreError> {
+        if self.virtual_models.remove(name).is_some() {
+            return Ok(());
+        }
+        if self.models.remove(name).is_none() {
+            return Err(StoreError::UnknownModel(name.to_string()));
+        }
+        self.virtual_models
+            .retain(|_, members| !members.iter().any(|m| m == name));
+        Ok(())
+    }
+
+    /// Defines a virtual model as the UNION of existing semantic models
+    /// (§3.1: "creation and querying of virtual semantic models defined as
+    /// a UNION ... of existing semantic models").
+    pub fn create_virtual_model(
+        &mut self,
+        name: &str,
+        members: &[&str],
+    ) -> Result<(), StoreError> {
+        if self.models.contains_key(name) || self.virtual_models.contains_key(name) {
+            return Err(StoreError::DuplicateModel(name.to_string()));
+        }
+        if members.is_empty() {
+            return Err(StoreError::EmptyVirtualModel);
+        }
+        for member in members {
+            if self.virtual_models.contains_key(*member) {
+                return Err(StoreError::NestedVirtualModel(member.to_string()));
+            }
+            if !self.models.contains_key(*member) {
+                return Err(StoreError::UnknownModel(member.to_string()));
+            }
+        }
+        self.virtual_models
+            .insert(name.to_string(), members.iter().map(|s| s.to_string()).collect());
+        Ok(())
+    }
+
+    /// Looks up a semantic model.
+    pub fn model(&self, name: &str) -> Option<&SemanticModel> {
+        self.models.get(name)
+    }
+
+    /// Names of all semantic models.
+    pub fn model_names(&self) -> impl Iterator<Item = &str> {
+        self.models.keys().map(|s| s.as_str())
+    }
+
+    /// Member list of a virtual model, if `name` names one.
+    pub fn virtual_model(&self, name: &str) -> Option<&[String]> {
+        self.virtual_models.get(name).map(|v| v.as_slice())
+    }
+
+    /// Names of all virtual models.
+    pub fn virtual_model_names(&self) -> Vec<String> {
+        self.virtual_models.keys().cloned().collect()
+    }
+
+    /// Interns a term (used by loaders and the SPARQL update path).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Resolves a term to its ID without interning; `None` means the term
+    /// occurs nowhere in the store, so no pattern mentioning it can match.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.dict.get(term)
+    }
+
+    /// Resolves an ID back to its term.
+    pub fn term(&self, id: TermId) -> Option<&Term> {
+        self.dict.lookup(id)
+    }
+
+    /// Encodes a quad, interning all components.
+    pub fn encode(&mut self, quad: &Quad) -> EncodedQuad {
+        let s = self.dict.intern(&quad.subject);
+        let p = self.dict.intern(&quad.predicate);
+        let o = self.dict.intern(&quad.object);
+        let g = match &quad.graph {
+            GraphName::Default => TermId::DEFAULT_GRAPH,
+            GraphName::Named(t) => self.dict.intern(t),
+        };
+        crate::ids::encode(s, p, o, g)
+    }
+
+    /// Decodes an encoded quad back to terms. Panics if the IDs were not
+    /// issued by this store's dictionary (an internal invariant).
+    pub fn decode(&self, quad: &EncodedQuad) -> Quad {
+        let term = |id: u64| {
+            self.dict
+                .lookup(TermId(id))
+                .expect("encoded quad refers to interned terms")
+                .clone()
+        };
+        let graph = if quad[G] == 0 {
+            GraphName::Default
+        } else {
+            GraphName::Named(term(quad[G]))
+        };
+        Quad::new_unchecked(term(quad[S]), term(quad[P]), term(quad[O]), graph)
+    }
+
+    /// Inserts one quad into a model. Returns `true` if newly added.
+    pub fn insert(&mut self, model: &str, quad: &Quad) -> Result<bool, StoreError> {
+        if !self.models.contains_key(model) {
+            return Err(StoreError::UnknownModel(model.to_string()));
+        }
+        let encoded = self.encode(quad);
+        Ok(self
+            .models
+            .get_mut(model)
+            .expect("checked above")
+            .insert(encoded))
+    }
+
+    /// Removes one quad from a model. Returns `true` if it was present.
+    pub fn remove(&mut self, model: &str, quad: &Quad) -> Result<bool, StoreError> {
+        let m = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
+        // Use non-interning resolution: a quad with unknown terms cannot be
+        // present.
+        let ids = [
+            self.dict.get(&quad.subject),
+            self.dict.get(&quad.predicate),
+            self.dict.get(&quad.object),
+            match &quad.graph {
+                GraphName::Default => Some(TermId::DEFAULT_GRAPH),
+                GraphName::Named(t) => self.dict.get(t),
+            },
+        ];
+        match ids {
+            [Some(s), Some(p), Some(o), Some(g)] => Ok(m.remove([s.0, p.0, o.0, g.0])),
+            _ => Ok(false),
+        }
+    }
+
+    /// Inserts an already-encoded quad (IDs must come from this store).
+    pub fn insert_encoded(&mut self, model: &str, quad: EncodedQuad) -> Result<bool, StoreError> {
+        let m = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
+        Ok(m.insert(quad))
+    }
+
+    /// Removes an already-encoded quad.
+    pub fn remove_encoded(&mut self, model: &str, quad: EncodedQuad) -> Result<bool, StoreError> {
+        let m = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
+        Ok(m.remove(quad))
+    }
+
+    /// Bulk-loads quads into a model, rebuilding its indexes once.
+    pub fn bulk_load<'q>(
+        &mut self,
+        model: &str,
+        quads: impl IntoIterator<Item = &'q Quad>,
+    ) -> Result<usize, StoreError> {
+        if !self.models.contains_key(model) {
+            return Err(StoreError::UnknownModel(model.to_string()));
+        }
+        let encoded: Vec<EncodedQuad> = quads.into_iter().map(|q| self.encode(q)).collect();
+        let n = encoded.len();
+        self.models
+            .get_mut(model)
+            .expect("checked above")
+            .bulk_load(encoded);
+        Ok(n)
+    }
+
+    /// Adds an index to a model (built immediately, like Oracle's
+    /// semantic-network index creation).
+    pub fn create_index(&mut self, model: &str, kind: IndexKind) -> Result<(), StoreError> {
+        let m = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
+        m.add_index(kind);
+        Ok(())
+    }
+
+    /// Drops an index from a model (at least one must remain).
+    pub fn drop_index(&mut self, model: &str, kind: IndexKind) -> Result<(), StoreError> {
+        let m = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
+        m.drop_index(kind)
+    }
+
+    /// Compacts the DML delta of one model into its base indexes.
+    pub fn compact(&mut self, model: &str) -> Result<(), StoreError> {
+        let m = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
+        m.compact();
+        Ok(())
+    }
+
+    /// Resolves a name — semantic model or virtual model — to a queryable
+    /// [`DatasetView`].
+    pub fn dataset(&self, name: &str) -> Result<DatasetView<'_>, StoreError> {
+        if let Some(members) = self.virtual_models.get(name) {
+            let models = members
+                .iter()
+                .map(|m| {
+                    self.models
+                        .get(m)
+                        .ok_or_else(|| StoreError::UnknownModel(m.clone()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(DatasetView::new(self, models));
+        }
+        let m = self
+            .models
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownModel(name.to_string()))?;
+        Ok(DatasetView::new(self, vec![m]))
+    }
+
+    /// A view over an explicit list of model names (each may itself be a
+    /// virtual model) — the "union of semantic models" query target of §3.2.
+    pub fn dataset_union(&self, names: &[&str]) -> Result<DatasetView<'_>, StoreError> {
+        let mut members = Vec::new();
+        for name in names {
+            let view = self.dataset(name)?;
+            members.extend(view.into_members());
+        }
+        // Preserve order but drop duplicate members.
+        let mut seen = std::collections::HashSet::new();
+        members.retain(|m: &&SemanticModel| seen.insert(m.name().to_string()));
+        Ok(DatasetView::new(self, members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Literal;
+
+    fn quad(s: &str, p: &str, o: Term) -> Quad {
+        Quad::triple(Term::iri(s), Term::iri(p), o).unwrap()
+    }
+
+    #[test]
+    fn create_and_drop_models() {
+        let mut store = Store::new();
+        store.create_model("a").unwrap();
+        assert!(matches!(
+            store.create_model("a"),
+            Err(StoreError::DuplicateModel(_))
+        ));
+        store.drop_model("a").unwrap();
+        assert!(matches!(store.drop_model("a"), Err(StoreError::UnknownModel(_))));
+    }
+
+    #[test]
+    fn insert_decode_roundtrip() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let q = quad("http://s", "http://p", Term::Literal(Literal::int(23)));
+        assert!(store.insert("m", &q).unwrap());
+        assert!(!store.insert("m", &q).unwrap());
+        let encoded: Vec<_> = store.model("m").unwrap().iter_all().collect();
+        assert_eq!(encoded.len(), 1);
+        assert_eq!(store.decode(&encoded[0]), q);
+    }
+
+    #[test]
+    fn remove_unknown_terms_is_noop() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let q = quad("http://s", "http://p", Term::iri("http://o"));
+        assert!(!store.remove("m", &q).unwrap());
+        let before = store.dictionary().len();
+        assert!(!store.remove("m", &q).unwrap());
+        assert_eq!(store.dictionary().len(), before, "remove must not intern");
+    }
+
+    #[test]
+    fn virtual_model_union_scans_members() {
+        let mut store = Store::new();
+        store.create_model("a").unwrap();
+        store.create_model("b").unwrap();
+        store
+            .insert("a", &quad("http://s1", "http://p", Term::iri("http://o1")))
+            .unwrap();
+        store
+            .insert("b", &quad("http://s2", "http://p", Term::iri("http://o2")))
+            .unwrap();
+        store.create_virtual_model("v", &["a", "b"]).unwrap();
+        let view = store.dataset("v").unwrap();
+        assert_eq!(view.len(), 2);
+    }
+
+    #[test]
+    fn virtual_model_validation() {
+        let mut store = Store::new();
+        store.create_model("a").unwrap();
+        assert!(matches!(
+            store.create_virtual_model("v", &[]),
+            Err(StoreError::EmptyVirtualModel)
+        ));
+        assert!(matches!(
+            store.create_virtual_model("v", &["missing"]),
+            Err(StoreError::UnknownModel(_))
+        ));
+        store.create_virtual_model("v", &["a"]).unwrap();
+        assert!(matches!(
+            store.create_virtual_model("w", &["v"]),
+            Err(StoreError::NestedVirtualModel(_))
+        ));
+    }
+
+    #[test]
+    fn dropping_member_drops_virtual_model() {
+        let mut store = Store::new();
+        store.create_model("a").unwrap();
+        store.create_virtual_model("v", &["a"]).unwrap();
+        store.drop_model("a").unwrap();
+        assert!(store.dataset("v").is_err());
+    }
+
+    #[test]
+    fn dataset_union_dedups_members() {
+        let mut store = Store::new();
+        store.create_model("a").unwrap();
+        store.create_model("b").unwrap();
+        store.create_virtual_model("v", &["a", "b"]).unwrap();
+        let view = store.dataset_union(&["a", "v"]).unwrap();
+        assert_eq!(view.member_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn bulk_load_counts() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let quads = vec![
+            quad("http://s1", "http://p", Term::iri("http://o")),
+            quad("http://s2", "http://p", Term::iri("http://o")),
+        ];
+        assert_eq!(store.bulk_load("m", &quads).unwrap(), 2);
+        assert_eq!(store.model("m").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Dictionary (ID) encoding of RDF terms.
+//!
+//! Like Oracle's RDF store, all quad components are stored as numeric
+//! identifiers, never as lexical values: "All of these columns hold numeric
+//! identifiers, not lexical values, because they are ID-based" (§3.1).
+//! Literals are canonicalised before interning, so the object-position ID is
+//! the *canonical object* ("C") of the paper's index keys.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::term::Term;
+
+/// A numeric identifier for an interned RDF term.
+///
+/// `TermId(0)` is reserved as the sentinel for the default (unnamed) graph
+/// in the quad store's encoded representation and never names a real term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u64);
+
+impl TermId {
+    /// The reserved sentinel used for the default graph.
+    pub const DEFAULT_GRAPH: TermId = TermId(0);
+
+    /// True if this is the default-graph sentinel.
+    pub fn is_default_graph(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A bidirectional map between [`Term`]s and [`TermId`]s.
+///
+/// This is the "values table" of an ID-based RDF store. Interning a literal
+/// first canonicalises it (see [`crate::Literal::canonical`]) so that
+/// value-equal numerics share an ID.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Interns a term, returning its (possibly pre-existing) ID.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        let canonical = Self::canonicalise(term);
+        if let Some(&id) = self.ids.get(canonical.as_ref()) {
+            return id;
+        }
+        let owned = canonical.into_owned();
+        // IDs start at 1; 0 is the default-graph sentinel.
+        let id = TermId(self.terms.len() as u64 + 1);
+        self.terms.push(owned.clone());
+        self.ids.insert(owned, id);
+        id
+    }
+
+    /// Looks up the ID of a term without interning it.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        let canonical = Self::canonicalise(term);
+        self.ids.get(canonical.as_ref()).copied()
+    }
+
+    /// Resolves an ID back to its term. Returns `None` for the
+    /// default-graph sentinel and for IDs never issued.
+    pub fn lookup(&self, id: TermId) -> Option<&Term> {
+        if id.0 == 0 {
+            return None;
+        }
+        self.terms.get((id.0 - 1) as usize)
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u64 + 1), t))
+    }
+
+    /// Approximate heap bytes used by the stored lexical values; feeds the
+    /// "Values Table" row of the storage report (Table 9 analogue).
+    pub fn approx_value_bytes(&self) -> usize {
+        self.terms
+            .iter()
+            .map(|t| match t {
+                Term::Iri(iri) => iri.as_str().len() + 16,
+                Term::Blank(b) => b.as_str().len() + 16,
+                Term::Literal(lit) => {
+                    lit.lexical().len()
+                        + lit.datatype_iri().map(|d| d.as_str().len()).unwrap_or(0)
+                        + lit.lang().map(|l| l.len()).unwrap_or(0)
+                        + 16
+                }
+            })
+            .sum()
+    }
+
+    fn canonicalise(term: &Term) -> std::borrow::Cow<'_, Term> {
+        match term {
+            Term::Literal(lit) => match lit.canonical() {
+                std::borrow::Cow::Borrowed(_) => std::borrow::Cow::Borrowed(term),
+                std::borrow::Cow::Owned(c) => std::borrow::Cow::Owned(Term::Literal(c)),
+            },
+            _ => std::borrow::Cow::Borrowed(term),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Iri, Literal};
+    use crate::vocab::xsd;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://pg/v1"));
+        let b = d.intern(&Term::iri("http://pg/v1"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_start_at_one() {
+        let mut d = Dictionary::new();
+        let id = d.intern(&Term::iri("http://x"));
+        assert_eq!(id, TermId(1));
+        assert!(!id.is_default_graph());
+        assert!(TermId::DEFAULT_GRAPH.is_default_graph());
+    }
+
+    #[test]
+    fn lookup_roundtrips() {
+        let mut d = Dictionary::new();
+        let t = Term::string("Amy");
+        let id = d.intern(&t);
+        assert_eq!(d.lookup(id), Some(&t));
+        assert_eq!(d.lookup(TermId::DEFAULT_GRAPH), None);
+        assert_eq!(d.lookup(TermId(999)), None);
+    }
+
+    #[test]
+    fn numeric_literals_share_canonical_id() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::Literal(Literal::typed("023", Iri::new(xsd::INT))));
+        let b = d.intern(&Term::Literal(Literal::typed("23", Iri::new(xsd::INT))));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_datatypes_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::Literal(Literal::string("23")));
+        let b = d.intern(&Term::int(23));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn get_canonicalises_probe() {
+        let mut d = Dictionary::new();
+        let id = d.intern(&Term::int(23));
+        let probe = Term::Literal(Literal::typed("023", Iri::new(xsd::INT)));
+        assert_eq!(d.get(&probe), Some(id));
+        assert_eq!(d.get(&Term::iri("http://absent")), None);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://a"));
+        let b = d.intern(&Term::iri("http://b"));
+        let pairs: Vec<_> = d.iter().map(|(id, _)| id).collect();
+        assert_eq!(pairs, vec![a, b]);
+    }
+
+    #[test]
+    fn value_bytes_grow_with_content() {
+        let mut d = Dictionary::new();
+        let before = d.approx_value_bytes();
+        d.intern(&Term::iri("http://a-rather-long-iri/with/segments"));
+        assert!(d.approx_value_bytes() > before);
+    }
+}

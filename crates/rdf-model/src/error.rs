@@ -1,0 +1,35 @@
+//! Errors produced by the RDF data model layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or parsing RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A literal was used in the subject position.
+    InvalidSubject(String),
+    /// A non-IRI was used in the predicate position.
+    InvalidPredicate(String),
+    /// A literal was used as a graph name.
+    InvalidGraph(String),
+    /// A concrete-syntax (N-Triples/N-Quads) error.
+    Syntax(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidSubject(t) => {
+                write!(f, "invalid subject (must be IRI or blank node): {t}")
+            }
+            ModelError::InvalidPredicate(t) => {
+                write!(f, "invalid predicate (must be IRI): {t}")
+            }
+            ModelError::InvalidGraph(t) => {
+                write!(f, "invalid graph name (must be IRI or blank node): {t}")
+            }
+            ModelError::Syntax(msg) => write!(f, "syntax error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,24 @@
+//! # rdf-model
+//!
+//! The RDF 1.1 data model used throughout the `pgrdf` workspace: terms
+//! (IRIs, blank nodes, literals), triples and quads, the well-known
+//! vocabularies plus the paper's `http://pg/` namespaces, dictionary (ID)
+//! encoding of terms, and N-Triples/N-Quads serialization and parsing.
+//!
+//! This crate is the shared substrate below the quad store (`quadstore`)
+//! and the SPARQL engine; it has no dependencies of its own.
+
+#![warn(missing_docs)]
+
+pub mod dictionary;
+pub mod error;
+pub mod nquads;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+pub mod vocab;
+
+pub use dictionary::{Dictionary, TermId};
+pub use error::ModelError;
+pub use term::{BlankNode, Iri, Literal, Term};
+pub use triple::{GraphName, Quad, Triple};

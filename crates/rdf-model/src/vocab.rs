@@ -1,0 +1,107 @@
+//! Well-known RDF vocabularies plus the property-graph namespaces of the
+//! paper (Section 2.2): `<http://pg/>` for vertices and edges,
+//! `<http://pg/r/>` for relationship (edge-label) predicates, and
+//! `<http://pg/k/>` for key predicates.
+
+/// The RDF core vocabulary.
+pub mod rdf {
+    /// Namespace prefix.
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    /// `rdf:type`.
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// `rdf:subject` (reification).
+    pub const SUBJECT: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#subject";
+    /// `rdf:predicate` (reification).
+    pub const PREDICATE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#predicate";
+    /// `rdf:object` (reification).
+    pub const OBJECT: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#object";
+    /// `rdf:Statement`.
+    pub const STATEMENT: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Statement";
+    /// `rdf:langString`, the datatype of language-tagged literals.
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+}
+
+/// The RDF Schema vocabulary.
+pub mod rdfs {
+    /// Namespace prefix.
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    /// `rdfs:subPropertyOf` — the anchor predicate of the paper's SP model.
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    /// `rdfs:subClassOf`.
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    /// `rdfs:domain`.
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    /// `rdfs:range`.
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    /// `rdfs:label`.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `rdfs:Resource`.
+    pub const RESOURCE: &str = "http://www.w3.org/2000/01/rdf-schema#Resource";
+}
+
+/// The OWL vocabulary (the slice used for linked-data enrichment, §5.2).
+pub mod owl {
+    /// Namespace prefix.
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    /// `owl:sameAs`.
+    pub const SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+    /// `owl:equivalentProperty`.
+    pub const EQUIVALENT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#equivalentProperty";
+    /// `owl:equivalentClass`.
+    pub const EQUIVALENT_CLASS: &str = "http://www.w3.org/2002/07/owl#equivalentClass";
+}
+
+/// XML Schema datatypes.
+pub mod xsd {
+    /// Namespace prefix.
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    /// `xsd:string`.
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:int` — the paper's mapping target for property-graph NUMBER values.
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    /// `xsd:integer`.
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:long`.
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    /// `xsd:decimal`.
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:float`.
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    /// `xsd:boolean`.
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:dateTime`.
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+}
+
+/// The property-graph namespaces introduced in Section 2.2 of the paper.
+pub mod pg {
+    /// Base namespace for vertex and edge IRIs: `<http://pg/>`.
+    pub const NS: &str = "http://pg/";
+    /// Relationship namespace, prefix `rel:` in the paper: `<http://pg/r/>`.
+    pub const REL_NS: &str = "http://pg/r/";
+    /// Key namespace, prefix `key:` in the paper: `<http://pg/k/>`.
+    pub const KEY_NS: &str = "http://pg/k/";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_consistent_prefixes() {
+        assert!(rdf::TYPE.starts_with(rdf::NS));
+        assert!(rdf::SUBJECT.starts_with(rdf::NS));
+        assert!(rdfs::SUB_PROPERTY_OF.starts_with(rdfs::NS));
+        assert!(owl::SAME_AS.starts_with(owl::NS));
+        assert!(xsd::INT.starts_with(xsd::NS));
+    }
+
+    #[test]
+    fn pg_namespaces_match_paper() {
+        assert_eq!(pg::NS, "http://pg/");
+        assert_eq!(pg::REL_NS, "http://pg/r/");
+        assert_eq!(pg::KEY_NS, "http://pg/k/");
+    }
+}

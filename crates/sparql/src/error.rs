@@ -1,0 +1,44 @@
+//! SPARQL engine errors.
+
+use std::fmt;
+
+/// Errors raised while parsing, planning, or evaluating SPARQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Lexical or grammatical error, with position information.
+    Parse(String),
+    /// The query is well-formed but uses something outside the supported
+    /// subset, or is semantically inconsistent (e.g. projecting a variable
+    /// that GROUP BY removed).
+    Unsupported(String),
+    /// Evaluation-time error (e.g. malformed regex in FILTER).
+    Eval(String),
+    /// Error from the underlying quad store.
+    Store(quadstore::StoreError),
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparqlError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            SparqlError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            SparqlError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparqlError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<quadstore::StoreError> for SparqlError {
+    fn from(e: quadstore::StoreError) -> Self {
+        SparqlError::Store(e)
+    }
+}

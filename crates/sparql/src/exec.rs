@@ -1,0 +1,871 @@
+//! The streaming query executor.
+//!
+//! Solutions are rows of `Option<u64>` term IDs indexed by binding slot.
+//! IDs with [`COMPUTED_BIT`] set refer to query-computed terms (aggregate
+//! results, `CONCAT` outputs, ...) held in a query-local side table; a
+//! computed term that also exists in the store dictionary is given its
+//! store ID instead, so joins and grouping treat value-equal terms as
+//! equal regardless of where they came from.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+use quadstore::{DatasetView, GraphConstraint, QuadPattern};
+use rdf_model::{Term, TermId};
+
+use crate::error::SparqlError;
+use crate::expr::{CExpr, ExprEnv, TermKind, Value};
+use crate::path;
+use crate::plan::{
+    CAggregate, CForm, CGraph, CPos, CSelect, CTriple, CompiledQuery, Node, Step, Strategy,
+    VarTable,
+};
+
+/// High bit marks query-computed term IDs.
+pub const COMPUTED_BIT: u64 = 1 << 63;
+
+/// A solution row: one optional term ID per binding slot.
+pub type Row = Vec<Option<u64>>;
+
+type BoxIter<'it> = Box<dyn Iterator<Item = Row> + 'it>;
+
+/// Evaluation context: the dataset plus the computed-terms side table.
+pub struct EvalCtx<'a> {
+    /// The dataset being queried.
+    pub view: DatasetView<'a>,
+    /// The query's variable table.
+    pub vars: VarTable,
+    /// Compiled EXISTS patterns (referenced by `CExpr::ExistsRef`).
+    pub exists: Vec<Node>,
+    computed: RefCell<Computed>,
+}
+
+#[derive(Default)]
+struct Computed {
+    terms: Vec<Term>,
+    ids: HashMap<Term, u64>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Creates a context for one query execution.
+    pub fn new(view: DatasetView<'a>, vars: VarTable) -> Self {
+        EvalCtx { view, vars, exists: Vec::new(), computed: RefCell::new(Computed::default()) }
+    }
+
+    /// A context carrying compiled EXISTS patterns.
+    pub fn with_exists(view: DatasetView<'a>, vars: VarTable, exists: Vec<Node>) -> Self {
+        EvalCtx { view, vars, exists, computed: RefCell::new(Computed::default()) }
+    }
+
+    /// Resolves an ID (store or computed) to an owned term.
+    pub fn resolve(&self, id: u64) -> Option<Term> {
+        if id & COMPUTED_BIT != 0 {
+            self.computed
+                .borrow()
+                .terms
+                .get((id & !COMPUTED_BIT) as usize)
+                .cloned()
+        } else {
+            self.view.store().term(TermId(id)).cloned()
+        }
+    }
+
+    /// The kind of the term behind an ID without cloning it.
+    pub fn kind(&self, id: u64) -> Option<TermKind> {
+        if id & COMPUTED_BIT != 0 {
+            self.computed
+                .borrow()
+                .terms
+                .get((id & !COMPUTED_BIT) as usize)
+                .map(TermKind::of)
+        } else {
+            self.view.store().term(TermId(id)).map(TermKind::of)
+        }
+    }
+
+    /// Interns a term: store ID when the term exists in the store, else a
+    /// computed ID (stable within this execution).
+    pub fn intern_term(&self, term: &Term) -> u64 {
+        if let Some(id) = self.view.store().term_id(term) {
+            return id.0;
+        }
+        let mut computed = self.computed.borrow_mut();
+        if let Some(&id) = computed.ids.get(term) {
+            return id;
+        }
+        let id = COMPUTED_BIT | computed.terms.len() as u64;
+        computed.terms.push(term.clone());
+        computed.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Interns a runtime value.
+    pub fn intern_value(&self, value: Value) -> u64 {
+        self.intern_term(&value.into_term())
+    }
+
+    fn empty_row(&self) -> Row {
+        vec![None; self.vars.len()]
+    }
+}
+
+/// Expression environment over one row.
+pub struct RowEnv<'a> {
+    ctx: &'a EvalCtx<'a>,
+    row: &'a Row,
+    aggs: Option<&'a [Value]>,
+}
+
+impl ExprEnv for RowEnv<'_> {
+    fn term_of_slot(&self, slot: usize) -> Option<Term> {
+        self.row.get(slot).copied().flatten().and_then(|id| self.ctx.resolve(id))
+    }
+    fn id_of_slot(&self, slot: usize) -> Option<u64> {
+        self.row.get(slot).copied().flatten()
+    }
+    fn kind_of_slot(&self, slot: usize) -> Option<TermKind> {
+        self.row
+            .get(slot)
+            .copied()
+            .flatten()
+            .and_then(|id| self.ctx.kind(id))
+    }
+    fn aggregate_value(&self, index: usize) -> Option<Value> {
+        self.aggs.and_then(|a| a.get(index).cloned())
+    }
+    fn exists(&self, index: usize) -> Option<bool> {
+        let node = self.ctx.exists.get(index)?;
+        let input: Box<dyn Iterator<Item = Row>> =
+            Box::new(std::iter::once(self.row.clone()));
+        Some(eval_node(self.ctx, node, input).next().is_some())
+    }
+}
+
+/// Final results of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResults {
+    /// SELECT solutions.
+    Solutions(crate::results::Solutions),
+    /// ASK verdict.
+    Boolean(bool),
+    /// CONSTRUCT output: deduplicated, sorted quads.
+    Graph(Vec<rdf_model::Quad>),
+}
+
+/// Executes a compiled query against a dataset view.
+pub fn execute_compiled(
+    view: &DatasetView<'_>,
+    compiled: &CompiledQuery,
+) -> Result<QueryResults, SparqlError> {
+    let ctx = EvalCtx::with_exists(
+        view.clone(),
+        compiled.vars.clone(),
+        compiled.exists.clone(),
+    );
+    match &compiled.form {
+        CForm::Select(sel) => {
+            let rows = exec_select(&ctx, sel)?;
+            let slots = sel.projected_slots();
+            let vars: Vec<String> = slots
+                .iter()
+                .map(|&s| ctx.vars.name(s).to_string())
+                .collect();
+            let decoded = rows
+                .into_iter()
+                .map(|row| {
+                    slots
+                        .iter()
+                        .map(|&s| row[s].and_then(|id| ctx.resolve(id)))
+                        .collect()
+                })
+                .collect();
+            Ok(QueryResults::Solutions(crate::results::Solutions { vars, rows: decoded }))
+        }
+        CForm::Ask(node) => {
+            let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
+            let mut out = eval_node(&ctx, node, input);
+            Ok(QueryResults::Boolean(out.next().is_some()))
+        }
+        CForm::Construct(templates, sel) => {
+            let rows = exec_select(&ctx, sel)?;
+            let slots = sel.projected_slots();
+            let vars: Vec<String> = slots
+                .iter()
+                .map(|&s| ctx.vars.name(s).to_string())
+                .collect();
+            let decoded: Vec<Vec<Option<Term>>> = rows
+                .into_iter()
+                .map(|row| {
+                    slots
+                        .iter()
+                        .map(|&s| row[s].and_then(|id| ctx.resolve(id)))
+                        .collect()
+                })
+                .collect();
+            let solutions = crate::results::Solutions { vars, rows: decoded };
+            let mut quads = crate::update::instantiate(templates, &solutions);
+            quads.sort();
+            quads.dedup();
+            Ok(QueryResults::Graph(quads))
+        }
+    }
+}
+
+/// Evaluates a SELECT pipeline, returning full-width rows (all slots).
+pub fn exec_select(ctx: &EvalCtx<'_>, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
+    let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
+    let solutions = eval_node(ctx, &sel.root, input);
+
+    let mut rows: Vec<Row> = if sel.is_grouped() {
+        group_and_aggregate(ctx, sel, solutions)?
+    } else {
+        let mut rows: Vec<Row> = solutions.collect();
+        // Compute expression projections per row.
+        for proj in &sel.projection {
+            if let Some(expr) = &proj.expr {
+                for row in &mut rows {
+                    let env = RowEnv { ctx, row, aggs: None };
+                    let value = expr.eval(&env);
+                    row[proj.slot] = value.map(|v| ctx.intern_value(v));
+                }
+            }
+        }
+        rows
+    };
+
+    if !sel.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Option<Value>>, Row)> = rows
+            .into_iter()
+            .map(|row| {
+                let keys = sel
+                    .order_by
+                    .iter()
+                    .map(|(expr, _)| {
+                        let env = RowEnv { ctx, row: &row, aggs: None };
+                        expr.eval(&env)
+                    })
+                    .collect();
+                (keys, row)
+            })
+            .collect();
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, (_, desc)) in sel.order_by.iter().enumerate() {
+                let ord = match (&ka[i], &kb[i]) {
+                    (Some(a), Some(b)) => a.sparql_cmp(b),
+                    (None, Some(_)) => std::cmp::Ordering::Less,
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (None, None) => std::cmp::Ordering::Equal,
+                };
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = keyed.into_iter().map(|(_, row)| row).collect();
+    }
+
+    // Narrow rows to projected slots (for DISTINCT and sub-select reuse).
+    let slots = sel.projected_slots();
+    let mut projected: Vec<Row> = rows
+        .into_iter()
+        .map(|row| {
+            let mut out = ctx.empty_row();
+            for &s in &slots {
+                out[s] = row[s];
+            }
+            out
+        })
+        .collect();
+
+    if sel.distinct {
+        let mut seen = HashSet::new();
+        projected.retain(|row| {
+            let key: Vec<Option<u64>> = slots.iter().map(|&s| row[s]).collect();
+            seen.insert(key)
+        });
+    }
+
+    let offset = sel.offset.unwrap_or(0);
+    if offset > 0 {
+        projected = projected.into_iter().skip(offset).collect();
+    }
+    if let Some(limit) = sel.limit {
+        projected.truncate(limit);
+    }
+    Ok(projected)
+}
+
+enum Acc {
+    CountAll(u64),
+    Count(u64),
+    CountDistinct(HashSet<u64>),
+    Sum { int: i64, float: f64, any_float: bool, seen: bool },
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(agg: &CAggregate) -> Acc {
+        match agg {
+            CAggregate::CountAll => Acc::CountAll(0),
+            CAggregate::Count { distinct: true, .. } => Acc::CountDistinct(HashSet::new()),
+            CAggregate::Count { .. } => Acc::Count(0),
+            CAggregate::Sum(_) => Acc::Sum { int: 0, float: 0.0, any_float: false, seen: false },
+            CAggregate::Avg(_) => Acc::Avg { sum: 0.0, n: 0 },
+            CAggregate::Min(_) => Acc::Min(None),
+            CAggregate::Max(_) => Acc::Max(None),
+        }
+    }
+
+    fn update(&mut self, ctx: &EvalCtx<'_>, agg: &CAggregate, row: &Row) {
+        let eval = |expr: &CExpr| {
+            let env = RowEnv { ctx, row, aggs: None };
+            expr.eval(&env)
+        };
+        match (self, agg) {
+            (Acc::CountAll(n), _) => *n += 1,
+            (Acc::Count(n), CAggregate::Count { expr, .. }) => {
+                if eval(expr).is_some() {
+                    *n += 1;
+                }
+            }
+            (Acc::CountDistinct(set), CAggregate::Count { expr, .. }) => {
+                if let Some(v) = eval(expr) {
+                    set.insert(ctx.intern_value(v));
+                }
+            }
+            (Acc::Sum { int, float, any_float, seen }, CAggregate::Sum(expr)) => {
+                if let Some(v) = eval(expr) {
+                    match v {
+                        Value::Int(i) => *int += i,
+                        other => {
+                            if let Some(f) = other.as_number() {
+                                *float += f;
+                                *any_float = true;
+                            } else {
+                                return;
+                            }
+                        }
+                    }
+                    *seen = true;
+                }
+            }
+            (Acc::Avg { sum, n }, CAggregate::Avg(expr)) => {
+                if let Some(f) = eval(expr).and_then(|v| v.as_number()) {
+                    *sum += f;
+                    *n += 1;
+                }
+            }
+            (Acc::Min(best), CAggregate::Min(expr)) => {
+                if let Some(v) = eval(expr) {
+                    let replace = best
+                        .as_ref()
+                        .map(|b| v.sparql_cmp(b) == std::cmp::Ordering::Less)
+                        .unwrap_or(true);
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            (Acc::Max(best), CAggregate::Max(expr)) => {
+                if let Some(v) = eval(expr) {
+                    let replace = best
+                        .as_ref()
+                        .map(|b| v.sparql_cmp(b) == std::cmp::Ordering::Greater)
+                        .unwrap_or(true);
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            _ => unreachable!("accumulator/aggregate mismatch"),
+        }
+    }
+
+    fn finish(self) -> Option<Value> {
+        match self {
+            Acc::CountAll(n) | Acc::Count(n) => Some(Value::Int(n as i64)),
+            Acc::CountDistinct(set) => Some(Value::Int(set.len() as i64)),
+            Acc::Sum { int, float, any_float, seen } => {
+                if !seen {
+                    Some(Value::Int(0))
+                } else if any_float {
+                    Some(Value::Float(float + int as f64))
+                } else {
+                    Some(Value::Int(int))
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Some(Value::Int(0))
+                } else {
+                    Some(Value::Float(sum / n as f64))
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v,
+        }
+    }
+}
+
+fn group_and_aggregate(
+    ctx: &EvalCtx<'_>,
+    sel: &CSelect,
+    solutions: BoxIter<'_>,
+) -> Result<Vec<Row>, SparqlError> {
+    let mut groups: HashMap<Vec<Option<u64>>, Vec<Acc>> = HashMap::new();
+    let make_accs = || sel.aggregates.iter().map(Acc::new).collect::<Vec<_>>();
+    let mut saw_rows = false;
+    for row in solutions {
+        saw_rows = true;
+        let key: Vec<Option<u64>> = sel.group_slots.iter().map(|&s| row[s]).collect();
+        let accs = groups.entry(key).or_insert_with(make_accs);
+        for (acc, agg) in accs.iter_mut().zip(&sel.aggregates) {
+            acc.update(ctx, agg, &row);
+        }
+    }
+    // SPARQL: aggregation without GROUP BY over zero rows yields one group.
+    if !saw_rows && sel.group_slots.is_empty() {
+        groups.insert(Vec::new(), make_accs());
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, accs) in groups {
+        let agg_values: Vec<Value> = accs
+            .into_iter()
+            .map(|a| a.finish().unwrap_or(Value::Int(0)))
+            .collect();
+        let mut row = ctx.empty_row();
+        for (slot, v) in sel.group_slots.iter().zip(&key) {
+            row[*slot] = *v;
+        }
+        for proj in &sel.projection {
+            if let Some(expr) = &proj.expr {
+                let env = RowEnv { ctx, row: &row, aggs: Some(&agg_values) };
+                row[proj.slot] = expr.eval(&env).map(|v| ctx.intern_value(v));
+            } else if !sel.group_slots.contains(&proj.slot) {
+                return Err(SparqlError::Unsupported(format!(
+                    "variable ?{} projected out of a grouped query but not in GROUP BY",
+                    ctx.vars.name(proj.slot)
+                )));
+            }
+        }
+        // HAVING: post-aggregation filter (projection aliases like the
+        // `?n` of `HAVING (?n > 1)` are in scope by now).
+        let keep = sel.having.iter().all(|h| {
+            let env = RowEnv { ctx, row: &row, aggs: Some(&agg_values) };
+            h.eval_filter(&env)
+        });
+        if !keep {
+            continue;
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Evaluates one compiled node, streaming input rows through it.
+pub fn eval_node<'it>(ctx: &'it EvalCtx<'_>, node: &'it Node, input: BoxIter<'it>) -> BoxIter<'it> {
+    match node {
+        Node::Steps(steps) => {
+            let mut stream = input;
+            for step in steps {
+                stream = eval_step(ctx, step, stream);
+            }
+            stream
+        }
+        Node::Path(pstep) => Box::new(input.flat_map(move |row| {
+            let s_val = pos_value(&row, &pstep.s);
+            let o_val = pos_value(&row, &pstep.o);
+            // Computed IDs never match stored quads.
+            let bad = |v: &Option<Option<u64>>| matches!(v, Some(None));
+            if bad(&s_val) || bad(&o_val) {
+                return Vec::new().into_iter();
+            }
+            let pairs =
+                path::eval_path_pairs(&ctx.view, &pstep.path, pstep.graph, s_val.flatten(), o_val.flatten());
+            let mut out = Vec::new();
+            for (s, o) in pairs {
+                let mut new_row = row.clone();
+                if extend_pos(&mut new_row, &pstep.s, s) && extend_pos(&mut new_row, &pstep.o, o) {
+                    out.push(new_row);
+                }
+            }
+            out.into_iter()
+        })),
+        Node::Join(children) => {
+            let mut stream = input;
+            for child in children {
+                stream = eval_node(ctx, child, stream);
+            }
+            stream
+        }
+        Node::Filter(filters, inner) => {
+            let stream = eval_node(ctx, inner, input);
+            Box::new(stream.filter(move |row| {
+                filters.iter().all(|f| {
+                    let env = RowEnv { ctx, row, aggs: None };
+                    f.eval_filter(&env)
+                })
+            }))
+        }
+        Node::Union(a, b) => {
+            let rows: Vec<Row> = input.collect();
+            let left: BoxIter = Box::new(rows.clone().into_iter());
+            let right: BoxIter = Box::new(rows.into_iter());
+            Box::new(eval_node(ctx, a, left).chain(eval_node(ctx, b, right)))
+        }
+        Node::Optional(a, b) => {
+            let left = eval_node(ctx, a, input);
+            Box::new(left.flat_map(move |row| {
+                let probe: BoxIter = Box::new(std::iter::once(row.clone()));
+                let matches: Vec<Row> = eval_node(ctx, b, probe).collect();
+                if matches.is_empty() {
+                    vec![row].into_iter()
+                } else {
+                    matches.into_iter()
+                }
+            }))
+        }
+        Node::SubSelect(sel) => {
+            let inner = match exec_select(ctx, sel) {
+                Ok(rows) => rows,
+                Err(_) => Vec::new(),
+            };
+            let input_rows: Vec<Row> = input.collect();
+            let slots = sel.projected_slots();
+            // Join keys: projected slots bound in every input row.
+            let join_slots: Vec<usize> = slots
+                .iter()
+                .copied()
+                .filter(|&s| !input_rows.is_empty() && input_rows.iter().all(|r| r[s].is_some()))
+                .collect();
+            let mut table: HashMap<Vec<u64>, Vec<Row>> = HashMap::new();
+            for irow in inner {
+                let key: Option<Vec<u64>> = join_slots.iter().map(|&s| irow[s]).collect();
+                if let Some(key) = key {
+                    table.entry(key).or_default().push(irow);
+                }
+            }
+            Box::new(input_rows.into_iter().flat_map(move |row| {
+                let key: Vec<u64> = join_slots
+                    .iter()
+                    .map(|&s| row[s].expect("join slot bound in all input rows"))
+                    .collect();
+                let mut out = Vec::new();
+                if let Some(matches) = table.get(&key) {
+                    'outer: for m in matches {
+                        let mut merged = row.clone();
+                        for &s in &slots {
+                            match (merged[s], m[s]) {
+                                (Some(a), Some(b)) if a != b => continue 'outer,
+                                (None, b) => merged[s] = b,
+                                _ => {}
+                            }
+                        }
+                        out.push(merged);
+                    }
+                }
+                out.into_iter()
+            }))
+        }
+        Node::Values { slots, rows } => {
+            let resolved: Vec<Vec<Option<u64>>> = rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|t| t.as_ref().map(|t| ctx.intern_term(t)))
+                        .collect()
+                })
+                .collect();
+            let slots = slots.clone();
+            Box::new(input.flat_map(move |row| {
+                let mut out = Vec::new();
+                'rows: for vrow in &resolved {
+                    let mut merged = row.clone();
+                    for (&slot, value) in slots.iter().zip(vrow) {
+                        if let Some(v) = value {
+                            match merged[slot] {
+                                Some(existing) if existing != *v => continue 'rows,
+                                _ => merged[slot] = Some(*v),
+                            }
+                        }
+                    }
+                    out.push(merged);
+                }
+                out.into_iter()
+            }))
+        }
+        Node::Extend(slot, expr) => {
+            let slot = *slot;
+            Box::new(input.map(move |mut row| {
+                let value = {
+                    let env = RowEnv { ctx, row: &row, aggs: None };
+                    expr.eval(&env)
+                };
+                // Per SPARQL, a BIND error leaves the variable unbound; a
+                // conflict with an existing binding drops nothing here
+                // because the parser guarantees a fresh variable.
+                row[slot] = value.map(|v| ctx.intern_value(v));
+                row
+            }))
+        }
+        Node::Minus(inner) => {
+            // MINUS: evaluate the inner pattern bottom-up once, then drop
+            // input rows that are compatible with (and share at least one
+            // bound variable with) some inner solution.
+            let probe: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
+            let right: Vec<Row> = eval_node(ctx, inner, probe).collect();
+            Box::new(input.filter(move |row| {
+                !right.iter().any(|r| {
+                    let mut shared = false;
+                    for (a, b) in row.iter().zip(r.iter()) {
+                        if let (Some(x), Some(y)) = (a, b) {
+                            if x != y {
+                                return false;
+                            }
+                            shared = true;
+                        }
+                    }
+                    shared
+                })
+            }))
+        }
+    }
+}
+
+fn eval_step<'it>(ctx: &'it EvalCtx<'_>, step: &'it Step, input: BoxIter<'it>) -> BoxIter<'it> {
+    match &step.strategy {
+        Strategy::IndexNlj => Box::new(input.flat_map(move |row| {
+            let mut out = Vec::new();
+            if let Some(pattern) = probe_pattern(&row, &step.triple) {
+                for quad in ctx.view.scan(pattern) {
+                    if let Some(new_row) = extend_row(&row, &step.triple, &quad) {
+                        out.push(new_row);
+                    }
+                }
+            }
+            out.into_iter()
+        })),
+        Strategy::HashJoin { join_slots } => {
+            Box::new(HashJoinIter::new(ctx, step, join_slots, input))
+        }
+    }
+}
+
+/// Lazily-built hash join: the build side (a scan of the step's pattern
+/// with constants only — typically a full index scan) is materialised into
+/// a hash table on first use, then probed once per input row.
+struct HashJoinIter<'it, 'a> {
+    ctx: &'it EvalCtx<'a>,
+    step: &'it Step,
+    join_slots: &'it [usize],
+    input: BoxIter<'it>,
+    table: Option<HashMap<Vec<u64>, Vec<quadstore::EncodedQuad>>>,
+    pending: std::vec::IntoIter<Row>,
+}
+
+impl<'it, 'a> HashJoinIter<'it, 'a> {
+    fn new(
+        ctx: &'it EvalCtx<'a>,
+        step: &'it Step,
+        join_slots: &'it [usize],
+        input: BoxIter<'it>,
+    ) -> Self {
+        HashJoinIter { ctx, step, join_slots, input, table: None, pending: Vec::new().into_iter() }
+    }
+
+    fn build(&mut self) {
+        let mut table: HashMap<Vec<u64>, Vec<quadstore::EncodedQuad>> = HashMap::new();
+        if !self.step.triple.unsatisfiable() {
+            let positions = key_positions(&self.step.triple, self.join_slots);
+            for quad in self.ctx.view.scan(self.step.triple.const_pattern()) {
+                let key: Vec<u64> = positions.iter().map(|&p| quad[p]).collect();
+                table.entry(key).or_default().push(quad);
+            }
+        }
+        self.table = Some(table);
+    }
+}
+
+impl Iterator for HashJoinIter<'_, '_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(row) = self.pending.next() {
+                return Some(row);
+            }
+            if self.table.is_none() {
+                self.build();
+            }
+            let row = self.input.next()?;
+            // Join keys are usually bound — but OPTIONAL/VALUES can leave a
+            // planned-bound slot UNDEF at runtime. A row with a computed ID
+            // in a join slot can never match stored quads; a row with an
+            // unbound slot falls back to a per-row index scan (NLJ-style).
+            if self
+                .join_slots
+                .iter()
+                .any(|&s| matches!(row[s], Some(id) if id & COMPUTED_BIT != 0))
+            {
+                continue;
+            }
+            if self.join_slots.iter().any(|&s| row[s].is_none()) {
+                if let Some(pattern) = probe_pattern(&row, &self.step.triple) {
+                    let mut out = Vec::new();
+                    for quad in self.ctx.view.scan(pattern) {
+                        if let Some(new_row) = extend_row(&row, &self.step.triple, &quad) {
+                            out.push(new_row);
+                        }
+                    }
+                    self.pending = out.into_iter();
+                }
+                continue;
+            }
+            let key: Vec<u64> = self
+                .join_slots
+                .iter()
+                .map(|&s| row[s].expect("checked above"))
+                .collect();
+            let table = self.table.as_ref().expect("built above");
+            if let Some(quads) = table.get(&key) {
+                let mut out = Vec::with_capacity(quads.len());
+                for quad in quads {
+                    if let Some(new_row) = extend_row(&row, &self.step.triple, quad) {
+                        out.push(new_row);
+                    }
+                }
+                self.pending = out.into_iter();
+            }
+        }
+    }
+}
+
+/// The quad position each join slot is keyed on (first occurrence).
+fn key_positions(triple: &CTriple, join_slots: &[usize]) -> Vec<usize> {
+    join_slots
+        .iter()
+        .map(|&slot| {
+            if triple.s.slot() == Some(slot) {
+                quadstore::ids::S
+            } else if triple.p.slot() == Some(slot) {
+                quadstore::ids::P
+            } else if triple.o.slot() == Some(slot) {
+                quadstore::ids::O
+            } else if matches!(triple.g, CGraph::Var(g) if g == slot) {
+                quadstore::ids::G
+            } else {
+                unreachable!("join slot not in triple")
+            }
+        })
+        .collect()
+}
+
+/// The value a position contributes given a row: `None` = unbound,
+/// `Some(None)` = bound to something that cannot match stored quads
+/// (a missing constant or computed ID), `Some(Some(id))` = bound.
+fn pos_value(row: &Row, pos: &CPos) -> Option<Option<u64>> {
+    match pos {
+        CPos::Var(slot) => row[*slot].map(|id| {
+            if id & COMPUTED_BIT != 0 {
+                None
+            } else {
+                Some(id)
+            }
+        }),
+        CPos::Const(_, Some(id)) => Some(Some(id.0)),
+        CPos::Const(_, None) => Some(None),
+    }
+}
+
+/// The scan pattern for a probe with the given row; `None` means the probe
+/// cannot match anything.
+fn probe_pattern(row: &Row, triple: &CTriple) -> Option<QuadPattern> {
+    let resolve = |pos: &CPos| -> Result<Option<TermId>, ()> {
+        match pos_value(row, pos) {
+            None => Ok(None),
+            Some(Some(id)) => Ok(Some(TermId(id))),
+            Some(None) => Err(()),
+        }
+    };
+    let s = resolve(&triple.s).ok()?;
+    let p = resolve(&triple.p).ok()?;
+    let o = resolve(&triple.o).ok()?;
+    let g = match &triple.g {
+        CGraph::Any => GraphConstraint::Any,
+        CGraph::Default => GraphConstraint::DefaultOnly,
+        CGraph::Const(_, Some(id)) => GraphConstraint::Named(*id),
+        CGraph::Const(_, None) => return None,
+        CGraph::Var(slot) => match row[*slot] {
+            Some(id) if id & COMPUTED_BIT != 0 => return None,
+            Some(id) => GraphConstraint::Named(TermId(id)),
+            None => GraphConstraint::AnyNamed,
+        },
+    };
+    Some(QuadPattern { s, p, o, g })
+}
+
+/// Extends a row with a matched quad, checking consistency for slots that
+/// are already bound (repeated variables, join keys).
+fn extend_row(row: &Row, triple: &CTriple, quad: &quadstore::EncodedQuad) -> Option<Row> {
+    let mut new_row = row.clone();
+    let mut set = |slot: usize, value: u64| -> bool {
+        match new_row[slot] {
+            Some(existing) => existing == value,
+            None => {
+                new_row[slot] = Some(value);
+                true
+            }
+        }
+    };
+    if let CPos::Var(s) = &triple.s {
+        if !set(*s, quad[quadstore::ids::S]) {
+            return None;
+        }
+    } else if let CPos::Const(_, Some(id)) = &triple.s {
+        if id.0 != quad[quadstore::ids::S] {
+            return None;
+        }
+    }
+    if let CPos::Var(s) = &triple.p {
+        if !set(*s, quad[quadstore::ids::P]) {
+            return None;
+        }
+    } else if let CPos::Const(_, Some(id)) = &triple.p {
+        if id.0 != quad[quadstore::ids::P] {
+            return None;
+        }
+    }
+    if let CPos::Var(s) = &triple.o {
+        if !set(*s, quad[quadstore::ids::O]) {
+            return None;
+        }
+    } else if let CPos::Const(_, Some(id)) = &triple.o {
+        if id.0 != quad[quadstore::ids::O] {
+            return None;
+        }
+    }
+    if let CGraph::Var(s) = &triple.g {
+        if !set(*s, quad[quadstore::ids::G]) {
+            return None;
+        }
+    }
+    Some(new_row)
+}
+
+fn extend_pos(row: &mut Row, pos: &CPos, value: u64) -> bool {
+    match pos {
+        CPos::Var(slot) => match row[*slot] {
+            Some(existing) => existing == value,
+            None => {
+                row[*slot] = Some(value);
+                true
+            }
+        },
+        CPos::Const(_, Some(id)) => id.0 == value,
+        CPos::Const(_, None) => false,
+    }
+}

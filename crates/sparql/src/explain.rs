@@ -1,0 +1,181 @@
+//! Plan rendering — the Table 5 analogue.
+//!
+//! For each planned triple pattern the output shows the bound components
+//! (constants in brackets), the chosen index, and whether the access is an
+//! index range scan probed per binding (NLJ) or a full scan feeding a hash
+//! join, e.g.:
+//!
+//! ```text
+//! 1: ?x <http://pg/r/follows> ?y  [P=<http://pg/r/follows>] PCSGM range scan (NLJ)
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::plan::{CForm, CGraph, CPos, CSelect, CompiledQuery, Node, Step, Strategy, VarTable};
+
+/// Renders a compiled query plan as indented text.
+pub fn render(compiled: &CompiledQuery) -> String {
+    let mut out = String::new();
+    match &compiled.form {
+        CForm::Select(sel) => render_select(&mut out, &compiled.vars, sel, 0),
+        CForm::Ask(node) => {
+            let _ = writeln!(out, "ASK");
+            render_node(&mut out, &compiled.vars, node, 1, &mut 1);
+        }
+        CForm::Construct(templates, sel) => {
+            let _ = writeln!(out, "CONSTRUCT ({} template quads)", templates.len());
+            render_select(&mut out, &compiled.vars, sel, 1);
+        }
+    }
+    out
+}
+
+fn render_select(out: &mut String, vars: &VarTable, sel: &CSelect, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let cols: Vec<String> = sel
+        .projection
+        .iter()
+        .map(|p| format!("?{}", vars.name(p.slot)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "{pad}SELECT{} {}",
+        if sel.distinct { " DISTINCT" } else { "" },
+        cols.join(" ")
+    );
+    if !sel.group_slots.is_empty() {
+        let g: Vec<String> = sel
+            .group_slots
+            .iter()
+            .map(|&s| format!("?{}", vars.name(s)))
+            .collect();
+        let _ = writeln!(out, "{pad}GROUP BY {}", g.join(" "));
+    }
+    let mut counter = 1usize;
+    render_node(out, vars, &sel.root, depth + 1, &mut counter);
+    if !sel.order_by.is_empty() {
+        let _ = writeln!(out, "{pad}ORDER BY ({} keys)", sel.order_by.len());
+    }
+    if sel.limit.is_some() || sel.offset.is_some() {
+        let _ = writeln!(out, "{pad}SLICE limit={:?} offset={:?}", sel.limit, sel.offset);
+    }
+}
+
+fn render_node(out: &mut String, vars: &VarTable, node: &Node, depth: usize, counter: &mut usize) {
+    let pad = "  ".repeat(depth);
+    match node {
+        Node::Steps(steps) => {
+            for step in steps {
+                let _ = writeln!(out, "{pad}{}: {}", counter, render_step(vars, step));
+                *counter += 1;
+            }
+        }
+        Node::Path(p) => {
+            let _ = writeln!(
+                out,
+                "{pad}{}: PATH {} -[closure]-> {}",
+                counter,
+                render_pos(vars, &p.s),
+                render_pos(vars, &p.o)
+            );
+            *counter += 1;
+        }
+        Node::Join(children) => {
+            for child in children {
+                render_node(out, vars, child, depth, counter);
+            }
+        }
+        Node::Filter(filters, inner) => {
+            render_node(out, vars, inner, depth, counter);
+            let _ = writeln!(out, "{pad}FILTER ({} predicates)", filters.len());
+        }
+        Node::Union(a, b) => {
+            let _ = writeln!(out, "{pad}UNION");
+            render_node(out, vars, a, depth + 1, counter);
+            let _ = writeln!(out, "{pad}  --");
+            render_node(out, vars, b, depth + 1, counter);
+        }
+        Node::Optional(a, b) => {
+            render_node(out, vars, a, depth, counter);
+            let _ = writeln!(out, "{pad}OPTIONAL");
+            render_node(out, vars, b, depth + 1, counter);
+        }
+        Node::SubSelect(sel) => {
+            let _ = writeln!(out, "{pad}SUBQUERY");
+            render_select(out, vars, sel, depth + 1);
+        }
+        Node::Values { slots, rows } => {
+            let names: Vec<String> = slots.iter().map(|&s| format!("?{}", vars.name(s))).collect();
+            let _ = writeln!(out, "{pad}VALUES {} ({} rows)", names.join(" "), rows.len());
+        }
+        Node::Extend(slot, _) => {
+            let _ = writeln!(out, "{pad}BIND -> ?{}", vars.name(*slot));
+        }
+        Node::Minus(inner) => {
+            let _ = writeln!(out, "{pad}MINUS");
+            render_node(out, vars, inner, depth + 1, counter);
+        }
+    }
+}
+
+fn render_step(vars: &VarTable, step: &Step) -> String {
+    let mut bound = Vec::new();
+    if let CPos::Const(t, _) = &step.triple.s {
+        bound.push(format!("S={t}"));
+    }
+    if let CPos::Const(t, _) = &step.triple.p {
+        bound.push(format!("P={t}"));
+    }
+    if let CPos::Const(t, _) = &step.triple.o {
+        bound.push(format!("C={t}"));
+    }
+    if let CGraph::Const(t, _) = &step.triple.g {
+        bound.push(format!("G={t}"));
+    }
+    let access = if step.triple.unsatisfiable() {
+        "empty scan (constant absent from store)".to_string()
+    } else {
+        step.access
+            .as_ref()
+            .map(|a| {
+                if a.is_full_scan() {
+                    format!("{} full scan", a.index)
+                } else {
+                    format!("{} range scan", a.index)
+                }
+            })
+            .unwrap_or_else(|| "no access path".to_string())
+    };
+    let strategy = match &step.strategy {
+        Strategy::IndexNlj => "NLJ".to_string(),
+        Strategy::HashJoin { join_slots } => {
+            let keys: Vec<String> = join_slots
+                .iter()
+                .map(|&s| format!("?{}", vars.name(s)))
+                .collect();
+            format!("HASH JOIN on {}", keys.join(","))
+        }
+    };
+    format!(
+        "{} {} {}{}  [{}] {} ({}) ~{} rows",
+        render_pos(vars, &step.triple.s),
+        render_pos(vars, &step.triple.p),
+        render_pos(vars, &step.triple.o),
+        match &step.triple.g {
+            CGraph::Any | CGraph::Default => String::new(),
+            CGraph::Var(s) => format!(" GRAPH ?{}", vars.name(*s)),
+            CGraph::Const(t, _) => format!(" GRAPH {t}"),
+        },
+        bound.join(" and "),
+        access,
+        strategy,
+        step.est_scan
+    )
+}
+
+fn render_pos(vars: &VarTable, pos: &CPos) -> String {
+    match pos {
+        CPos::Var(s) => format!("?{}", vars.name(*s)),
+        CPos::Const(t, _) => t.to_string(),
+    }
+}

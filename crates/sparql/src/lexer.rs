@@ -1,0 +1,515 @@
+//! Tokenizer for the SPARQL subset.
+
+use crate::error::SparqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<...>` IRI reference (content without brackets).
+    IriRef(String),
+    /// Prefixed name `pfx:local` (either part may be empty).
+    PName(String, String),
+    /// `?name` / `$name`.
+    Var(String),
+    /// Blank node label `_:b`.
+    BlankLabel(String),
+    /// String literal content (unescaped), with optional language tag or
+    /// datatype recorded by the parser from following tokens.
+    String(String),
+    /// Language tag from `@en-us`.
+    LangTag(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Decimal/double literal.
+    Double(f64),
+    /// Bare keyword or identifier (uppercased for keywords at parse time).
+    Word(String),
+    /// `a` is also a Word; punctuation below.
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `/`
+    Slash,
+    /// `|`
+    Pipe,
+    /// `^` (path inverse)
+    Caret,
+    /// `^^` (datatype)
+    CaretCaret,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `?` as path modifier is indistinguishable from an empty var at lex
+    /// time; a lone `?` with no name lexes to `QuestionMark`.
+    QuestionMark,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+/// Tokenizes a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Pipe);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(SparqlError::Parse(format!("stray '&' at byte {i}")));
+                }
+            }
+            '^' => {
+                if bytes.get(i + 1) == Some(&b'^') {
+                    tokens.push(Token::CaretCaret);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Caret);
+                    i += 1;
+                }
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '<' => {
+                // Either an IRIREF or a comparison. An IRIREF closes with
+                // '>' before any whitespace or quote.
+                if let Some(end) = scan_iri_end(bytes, i + 1) {
+                    let iri = &input[i + 1..end];
+                    tokens.push(Token::IriRef(iri.to_string()));
+                    i = end + 1;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '?' | '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                if j == start {
+                    tokens.push(Token::QuestionMark);
+                    i += 1;
+                } else {
+                    tokens.push(Token::Var(input[start..j].to_string()));
+                    i = j;
+                }
+            }
+            '"' | '\'' => {
+                let quote = bytes[i];
+                let mut j = i + 1;
+                let mut value = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(SparqlError::Parse("unterminated string".into()));
+                    }
+                    match bytes[j] {
+                        b'\\' => {
+                            let esc = *bytes.get(j + 1).ok_or_else(|| {
+                                SparqlError::Parse("dangling escape".into())
+                            })?;
+                            value.push(match esc {
+                                b'n' => '\n',
+                                b'r' => '\r',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'\'' => '\'',
+                                other => {
+                                    return Err(SparqlError::Parse(format!(
+                                        "bad escape \\{}",
+                                        other as char
+                                    )))
+                                }
+                            });
+                            j += 2;
+                        }
+                        q if q == quote => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {
+                            // Preserve multi-byte UTF-8 sequences intact.
+                            let ch_len = utf8_len(bytes[j]);
+                            value.push_str(&input[j..j + ch_len]);
+                            j += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token::String(value));
+                i = j;
+            }
+            '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'-')
+                {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(SparqlError::Parse("empty language tag".into()));
+                }
+                tokens.push(Token::LangTag(input[start..j].to_string()));
+                i = j;
+            }
+            '_' if bytes.get(i + 1) == Some(&b':') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                tokens.push(Token::BlankLabel(input[start..j].to_string()));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_double = false;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    is_double = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    is_double = true;
+                    j += 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &input[start..j];
+                if is_double {
+                    tokens.push(Token::Double(text.parse().map_err(|_| {
+                        SparqlError::Parse(format!("bad number {text}"))
+                    })?));
+                } else {
+                    tokens.push(Token::Integer(text.parse().map_err(|_| {
+                        SparqlError::Parse(format!("bad number {text}"))
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                // Prefixed name? `pfx:local` (local may be empty or start
+                // with '#'/digits etc. — we accept name chars and '#').
+                if j < bytes.len() && bytes[j] == b':' {
+                    let prefix = input[start..j].to_string();
+                    let lstart = j + 1;
+                    let mut k = lstart;
+                    while k < bytes.len() && is_local_char(bytes[k]) {
+                        k += 1;
+                    }
+                    tokens.push(Token::PName(prefix, input[lstart..k].to_string()));
+                    i = k;
+                } else {
+                    tokens.push(Token::Word(input[start..j].to_string()));
+                    i = j;
+                }
+            }
+            ':' => {
+                // Default-prefix name `:local`.
+                let lstart = i + 1;
+                let mut k = lstart;
+                while k < bytes.len() && is_local_char(bytes[k]) {
+                    k += 1;
+                }
+                tokens.push(Token::PName(String::new(), input[lstart..k].to_string()));
+                i = k;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            other => {
+                return Err(SparqlError::Parse(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+fn scan_iri_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut j = start;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'>' => return Some(j),
+            b' ' | b'\t' | b'\n' | b'\r' | b'"' | b'{' | b'}' => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn is_local_char(b: u8) -> bool {
+    is_name_char(b) || b == b'-' || b == b'.' || b == b'#'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_vs_less_than() {
+        let toks = tokenize("?x < <http://pg/v1>").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Var("x".into()),
+                Token::Lt,
+                Token::IriRef("http://pg/v1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn pname_with_hash_local() {
+        let toks = tokenize("?n k:hasTag \"#webseries\"").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Var("n".into()),
+                Token::PName("k".into(), "hasTag".into()),
+                Token::String("#webseries".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn default_prefix_pname() {
+        let toks = tokenize(":MIT").unwrap();
+        assert_eq!(toks, vec![Token::PName(String::new(), "MIT".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("<= >= != = && || ! ^^ ^").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::Eq,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Bang,
+                Token::CaretCaret,
+                Token::Caret
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 3.25 1e3").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Integer(42), Token::Double(3.25), Token::Double(1000.0)]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize(r#""a\"b\nc""#).unwrap();
+        assert_eq!(toks, vec![Token::String("a\"b\nc".into())]);
+    }
+
+    #[test]
+    fn lang_tag() {
+        let toks = tokenize("\"train\"@en-us").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::String("train".into()), Token::LangTag("en-us".into())]
+        );
+    }
+
+    #[test]
+    fn typed_literal_tokens() {
+        let toks = tokenize("\"23\"^^<http://www.w3.org/2001/XMLSchema#int>").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::String("23".into()),
+                Token::CaretCaret,
+                Token::IriRef("http://www.w3.org/2001/XMLSchema#int".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT # comment\n ?x").unwrap();
+        assert_eq!(toks, vec![Token::Word("SELECT".into()), Token::Var("x".into())]);
+    }
+
+    #[test]
+    fn path_tokens() {
+        let toks = tokenize("(r:knows|r:follows)+").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                Token::PName("r".into(), "knows".into()),
+                Token::Pipe,
+                Token::PName("r".into(), "follows".into()),
+                Token::RParen,
+                Token::Plus
+            ]
+        );
+    }
+
+    #[test]
+    fn blank_label() {
+        let toks = tokenize("_:b1").unwrap();
+        assert_eq!(toks, vec![Token::BlankLabel("b1".into())]);
+    }
+
+    #[test]
+    fn utf8_in_strings() {
+        let toks = tokenize("\"café 😀\"").unwrap();
+        assert_eq!(toks, vec![Token::String("café 😀".into())]);
+    }
+}

@@ -1,0 +1,1316 @@
+//! Query compilation and planning.
+//!
+//! Compilation maps AST variables to binding slots, resolves constant
+//! terms to dictionary IDs, rewrites property-path sequences/alternatives
+//! into joins/unions (the standard SPARQL algebra translation), and plans
+//! each basic graph pattern: greedy selectivity ordering plus a per-step
+//! choice between index nested-loop join and hash join — the two physical
+//! strategies whose interplay the paper's experiments 4 and 5 highlight.
+
+use std::collections::{HashMap, HashSet};
+
+use quadstore::{AccessPath, DatasetView, GraphConstraint, QuadPattern};
+use rdf_model::{Term, TermId};
+
+use crate::ast::{
+    Aggregate, Expression, GraphPattern, PredicatePattern, Projection, PropertyPath, Query,
+    SelectQuery, VarOrTerm,
+};
+use crate::error::SparqlError;
+use crate::expr::{CExpr, TermKind, Value};
+
+/// Cost charged per index probe (binary search + pointer chasing) relative
+/// to one sequential key visit; used in the NLJ-vs-hash decision.
+const PROBE_COST: f64 = 20.0;
+
+/// Maps variable names to binding slots.
+#[derive(Debug, Default, Clone)]
+pub struct VarTable {
+    names: Vec<String>,
+    slots: HashMap<String, usize>,
+}
+
+impl VarTable {
+    /// Interns a variable name.
+    pub fn slot(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.slots.get(name) {
+            return s;
+        }
+        let s = self.names.len();
+        self.names.push(name.to_string());
+        self.slots.insert(name.to_string(), s);
+        s
+    }
+
+    /// A fresh, non-user-visible slot (path rewriting intermediates).
+    pub fn fresh(&mut self) -> usize {
+        let name = format!(" _path{}", self.names.len());
+        self.slot(&name)
+    }
+
+    /// Slot of an existing variable.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.slots.get(name).copied()
+    }
+
+    /// Name of a slot.
+    pub fn name(&self, slot: usize) -> &str {
+        &self.names[slot]
+    }
+
+    /// Total number of slots.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no variables have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A variable slot or a constant term with its (optional) dictionary ID.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CPos {
+    /// Variable slot.
+    Var(usize),
+    /// Constant; `None` ID means the term does not occur in the store.
+    Const(Term, Option<TermId>),
+}
+
+impl CPos {
+    /// The slot, if a variable.
+    pub fn slot(&self) -> Option<usize> {
+        match self {
+            CPos::Var(s) => Some(*s),
+            CPos::Const(_, _) => None,
+        }
+    }
+}
+
+/// Graph context of a compiled triple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CGraph {
+    /// Union-default-graph semantics (Oracle SEM_MATCH style): a pattern
+    /// outside any `GRAPH` clause matches quads in *any* graph. This is
+    /// what the paper's queries assume — the NG model's `e-s-p-o` quads
+    /// must be visible to bare patterns like `?x rel:follows ?y`.
+    Any,
+    /// The default (unnamed) graph only — strict SPARQL semantics.
+    Default,
+    /// `GRAPH ?g` — the slot joins/binds like any variable.
+    Var(usize),
+    /// `GRAPH <iri>`.
+    Const(Term, Option<TermId>),
+}
+
+/// A compiled triple pattern (predicate is a slot or a plain IRI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CTriple {
+    /// Subject.
+    pub s: CPos,
+    /// Predicate (var or IRI constant).
+    pub p: CPos,
+    /// Object.
+    pub o: CPos,
+    /// Graph context.
+    pub g: CGraph,
+}
+
+impl CTriple {
+    /// Variable slots mentioned by this triple (including the graph var).
+    pub fn var_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for pos in [&self.s, &self.p, &self.o] {
+            if let CPos::Var(s) = pos {
+                out.push(*s);
+            }
+        }
+        if let CGraph::Var(s) = self.g {
+            out.push(s);
+        }
+        out
+    }
+
+    /// The constants-only scan pattern (bound variables are not applied).
+    pub fn const_pattern(&self) -> QuadPattern {
+        let id = |p: &CPos| match p {
+            CPos::Const(_, id) => *id,
+            CPos::Var(_) => None,
+        };
+        QuadPattern {
+            s: id(&self.s),
+            p: id(&self.p),
+            o: id(&self.o),
+            g: match &self.g {
+                CGraph::Any => GraphConstraint::Any,
+                CGraph::Default => GraphConstraint::DefaultOnly,
+                CGraph::Var(_) => GraphConstraint::AnyNamed,
+                CGraph::Const(_, Some(id)) => GraphConstraint::Named(*id),
+                CGraph::Const(_, None) => GraphConstraint::Named(TermId(u64::MAX)),
+            },
+        }
+    }
+
+    /// True if some constant in the triple is absent from the dictionary,
+    /// making the pattern unsatisfiable.
+    pub fn unsatisfiable(&self) -> bool {
+        let missing = |p: &CPos| matches!(p, CPos::Const(_, None));
+        missing(&self.s)
+            || missing(&self.p)
+            || missing(&self.o)
+            || matches!(&self.g, CGraph::Const(_, None))
+    }
+}
+
+/// Physical join strategy of one BGP step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// Index nested-loop join: probe the chosen index once per incoming
+    /// binding.
+    IndexNlj,
+    /// Hash join: scan the pattern once (typically a full index scan),
+    /// build a hash table on the join slots, probe with incoming bindings.
+    HashJoin {
+        /// Slots shared with the already-planned part of the query.
+        join_slots: Vec<usize>,
+    },
+}
+
+/// One planned step of a basic graph pattern.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The triple pattern.
+    pub triple: CTriple,
+    /// Join strategy.
+    pub strategy: Strategy,
+    /// Estimated matches of the constants-only scan.
+    pub est_scan: usize,
+    /// The access path the (first member of the) dataset would use.
+    pub access: Option<AccessPath>,
+}
+
+/// A compiled closure path (only `*`, `+`, `?` survive compilation; other
+/// operators were rewritten into joins/unions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CPath {
+    /// A single predicate step.
+    Iri(Term, Option<TermId>),
+    /// Inverse step.
+    Inverse(Box<CPath>),
+    /// Sequence inside a closure.
+    Sequence(Box<CPath>, Box<CPath>),
+    /// Alternation inside a closure.
+    Alternative(Box<CPath>, Box<CPath>),
+    /// Zero or more.
+    ZeroOrMore(Box<CPath>),
+    /// One or more.
+    OneOrMore(Box<CPath>),
+    /// Zero or one.
+    ZeroOrOne(Box<CPath>),
+}
+
+/// A closure-path step (`p*`, `p+`, `p?` and nested combinations).
+#[derive(Debug, Clone)]
+pub struct PathStep {
+    /// Subject end.
+    pub s: CPos,
+    /// Object end.
+    pub o: CPos,
+    /// The compiled path.
+    pub path: CPath,
+    /// Graph context (closure paths do not bind graph variables).
+    pub graph: GraphConstraint,
+}
+
+/// A compiled pattern-tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A planned BGP fragment: ordered steps.
+    Steps(Vec<Step>),
+    /// A closure-path step.
+    Path(PathStep),
+    /// Sequential join of children (each child consumes the previous
+    /// child's bindings).
+    Join(Vec<Node>),
+    /// Filters applied over the child's solutions.
+    Filter(Vec<CExpr>, Box<Node>),
+    /// Union of two branches.
+    Union(Box<Node>, Box<Node>),
+    /// Left outer join.
+    Optional(Box<Node>, Box<Node>),
+    /// A materialised sub-select.
+    SubSelect(Box<CSelect>),
+    /// Inline VALUES rows.
+    Values {
+        /// Target slots.
+        slots: Vec<usize>,
+        /// Rows; `None` = UNDEF.
+        rows: Vec<Vec<Option<Term>>>,
+    },
+    /// `BIND(expr AS ?v)`: extend each row with a computed value.
+    Extend(usize, CExpr),
+    /// `MINUS { ... }`: drop rows compatible with the inner solutions.
+    Minus(Box<Node>),
+}
+
+/// One projected column: output slot plus an optional computed expression.
+#[derive(Debug, Clone)]
+pub struct CProj {
+    /// Output slot.
+    pub slot: usize,
+    /// Expression, if this is a `(expr AS ?v)` column.
+    pub expr: Option<CExpr>,
+}
+
+/// A compiled aggregate.
+#[derive(Debug, Clone)]
+pub enum CAggregate {
+    /// `COUNT(*)`.
+    CountAll,
+    /// `COUNT([DISTINCT] expr)`.
+    Count {
+        /// DISTINCT flag.
+        distinct: bool,
+        /// Counted expression.
+        expr: CExpr,
+    },
+    /// `SUM(expr)`.
+    Sum(CExpr),
+    /// `AVG(expr)`.
+    Avg(CExpr),
+    /// `MIN(expr)`.
+    Min(CExpr),
+    /// `MAX(expr)`.
+    Max(CExpr),
+}
+
+/// A compiled SELECT (top-level or nested).
+#[derive(Debug, Clone)]
+pub struct CSelect {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Projected columns in order.
+    pub projection: Vec<CProj>,
+    /// Aggregates referenced by projection expressions.
+    pub aggregates: Vec<CAggregate>,
+    /// GROUP BY slots.
+    pub group_slots: Vec<usize>,
+    /// HAVING conditions (evaluated with aggregate values in scope).
+    pub having: Vec<CExpr>,
+    /// WHERE tree.
+    pub root: Node,
+    /// ORDER BY keys (expr, descending).
+    pub order_by: Vec<(CExpr, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// OFFSET.
+    pub offset: Option<usize>,
+}
+
+impl CSelect {
+    /// Output slots in projection order.
+    pub fn projected_slots(&self) -> Vec<usize> {
+        self.projection.iter().map(|p| p.slot).collect()
+    }
+
+    /// True when the query aggregates (explicit GROUP BY or aggregate
+    /// projections).
+    pub fn is_grouped(&self) -> bool {
+        !self.group_slots.is_empty() || !self.aggregates.is_empty()
+    }
+}
+
+/// A fully compiled query.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The variable table (shared across nesting levels).
+    pub vars: VarTable,
+    /// Compiled `EXISTS { ... }` patterns, referenced by
+    /// [`CExpr::ExistsRef`] indexes.
+    pub exists: Vec<Node>,
+    /// The compiled form.
+    pub form: CForm,
+}
+
+/// Compiled query forms.
+#[derive(Debug, Clone)]
+pub enum CForm {
+    /// `SELECT`.
+    Select(CSelect),
+    /// `ASK`.
+    Ask(Node),
+    /// `CONSTRUCT`: instantiate the templates per solution of the select.
+    Construct(Vec<crate::ast::QuadTemplate>, CSelect),
+}
+
+/// Forces one physical join strategy for every joined BGP step —
+/// the optimizer-ablation hook (the paper's experiments hinge on the
+/// optimizer's NLJ-vs-hash choices; forcing lets benches measure both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcedJoin {
+    /// Always probe indexes per binding.
+    Nlj,
+    /// Always build hash tables from full scans.
+    Hash,
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Union-default-graph semantics (Oracle SEM_MATCH style). On by
+    /// default; SPARQL Update compiles strict so `GRAPH` targeting works
+    /// per the W3C spec.
+    pub union_default_graph: bool,
+    /// Optional join-strategy override (ablations only).
+    pub force_join: Option<ForcedJoin>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { union_default_graph: true, force_join: None }
+    }
+}
+
+/// Compiles a parsed query against a dataset (planning uses the dataset's
+/// statistics, so compilation is per-dataset, like a database prepare).
+/// Uses union-default-graph semantics; see [`compile_with`].
+pub fn compile(view: &DatasetView<'_>, query: &Query) -> Result<CompiledQuery, SparqlError> {
+    compile_with(view, query, CompileOptions::default())
+}
+
+/// [`compile`] with explicit options.
+pub fn compile_with(
+    view: &DatasetView<'_>,
+    query: &Query,
+    options: CompileOptions,
+) -> Result<CompiledQuery, SparqlError> {
+    let mut c = Compiler {
+        view,
+        vars: VarTable::default(),
+        options,
+        exists: Vec::new(),
+    };
+    let root = if options.union_default_graph { CGraph::Any } else { CGraph::Default };
+    let form = match query {
+        Query::Select(sel) => {
+            CForm::Select(c.compile_select(sel, &root, &mut HashSet::new())?)
+        }
+        Query::Ask(pattern) => {
+            let node = c.compile_pattern(pattern, &root, &mut HashSet::new())?;
+            CForm::Ask(node)
+        }
+        Query::Construct(templates, inner) => {
+            let csel = c.compile_select(inner, &root, &mut HashSet::new())?;
+            CForm::Construct(templates.clone(), csel)
+        }
+    };
+    Ok(CompiledQuery { vars: c.vars, exists: c.exists, form })
+}
+
+struct Compiler<'a, 'b> {
+    view: &'a DatasetView<'b>,
+    vars: VarTable,
+    options: CompileOptions,
+    /// Compiled EXISTS patterns, shared across the whole query.
+    exists: Vec<Node>,
+}
+
+impl Compiler<'_, '_> {
+    fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.view.store().term_id(term)
+    }
+
+    fn cpos(&mut self, vt: &VarOrTerm) -> CPos {
+        match vt {
+            VarOrTerm::Var(v) => CPos::Var(self.vars.slot(v)),
+            VarOrTerm::Term(t) => CPos::Const(t.clone(), self.term_id(t)),
+        }
+    }
+
+    fn compile_select(
+        &mut self,
+        sel: &SelectQuery,
+        graph: &CGraph,
+        bound: &mut HashSet<usize>,
+    ) -> Result<CSelect, SparqlError> {
+        let root = self.compile_pattern(&sel.pattern, graph, bound)?;
+
+        let group_slots: Vec<usize> = sel.group_by.iter().map(|v| self.vars.slot(v)).collect();
+
+        let mut aggregates = Vec::new();
+        let mut projection = Vec::new();
+        if sel.projection.is_empty() {
+            // SELECT *: project every user-visible variable in the pattern.
+            let mut slots: Vec<usize> = node_vars(&root)
+                .into_iter()
+                .filter(|&s| !self.vars.name(s).starts_with(' '))
+                .collect();
+            slots.sort_unstable();
+            for slot in slots {
+                projection.push(CProj { slot, expr: None });
+            }
+        } else {
+            for proj in &sel.projection {
+                match proj {
+                    Projection::Var(v) => {
+                        projection.push(CProj { slot: self.vars.slot(v), expr: None });
+                    }
+                    Projection::Expr(expr, v) => {
+                        let cexpr = self.compile_expr(expr, &mut aggregates)?;
+                        projection.push(CProj { slot: self.vars.slot(v), expr: Some(cexpr) });
+                    }
+                }
+            }
+        }
+
+        let order_by = sel
+            .order_by
+            .iter()
+            .map(|k| {
+                // ORDER BY may reference aggregate outputs by variable name;
+                // those are projection slots, so plain compilation works.
+                self.compile_expr(&k.expr, &mut aggregates)
+                    .map(|e| (e, k.descending))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let having = sel
+            .having
+            .iter()
+            .map(|h| self.compile_expr(h, &mut aggregates))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        for proj in &projection {
+            bound.insert(proj.slot);
+        }
+
+        Ok(CSelect {
+            distinct: sel.distinct,
+            projection,
+            aggregates,
+            group_slots,
+            having,
+            root,
+            order_by,
+            limit: sel.limit,
+            offset: sel.offset,
+        })
+    }
+
+    fn compile_pattern(
+        &mut self,
+        pattern: &GraphPattern,
+        graph: &CGraph,
+        bound: &mut HashSet<usize>,
+    ) -> Result<Node, SparqlError> {
+        match pattern {
+            GraphPattern::Bgp(tps) => self.compile_bgp(tps, graph, bound),
+            GraphPattern::Graph(g, inner) => {
+                let cg = match g {
+                    VarOrTerm::Var(v) => CGraph::Var(self.vars.slot(v)),
+                    VarOrTerm::Term(t) => CGraph::Const(t.clone(), self.term_id(t)),
+                };
+                let node = self.compile_pattern(inner, &cg, bound)?;
+                if let CGraph::Var(slot) = cg {
+                    bound.insert(slot);
+                }
+                Ok(node)
+            }
+            GraphPattern::Group(members, filters) => {
+                // Constant-equality pushdown: a conjunctive filter
+                // `?v = <const>` pins ?v for the whole group, so
+                // substitute the constant into the member patterns (making
+                // them selective — this is what turns EQ3/EQ7's
+                // `FILTER (?t = "#webseries")` from a full cross join into
+                // indexed probes) and bind ?v via a one-row VALUES so it
+                // stays visible to projection. Substitution is restricted
+                // to IRIs and plain strings, whose term identity coincides
+                // with SPARQL value equality under our canonical
+                // dictionary; the original filter is kept as a no-op
+                // safety net.
+                let pins = extract_pins(filters);
+                let substituted: Vec<GraphPattern>;
+                let members: &[GraphPattern] = if pins.is_empty() {
+                    members
+                } else {
+                    substituted = members
+                        .iter()
+                        .map(|m| substitute_pattern(m, &pins))
+                        .collect();
+                    &substituted
+                };
+                let mut children = Vec::with_capacity(members.len() + 1);
+                if !pins.is_empty() {
+                    let slots: Vec<usize> =
+                        pins.iter().map(|(v, _)| self.vars.slot(v)).collect();
+                    for &s in &slots {
+                        bound.insert(s);
+                    }
+                    let row: Vec<Option<Term>> =
+                        pins.iter().map(|(_, t)| Some(t.clone())).collect();
+                    children.push(Node::Values { slots, rows: vec![row] });
+                }
+                for member in members {
+                    children.push(self.compile_pattern(member, graph, bound)?);
+                }
+                let joined = if children.len() == 1 {
+                    children.pop().expect("one child")
+                } else {
+                    Node::Join(children)
+                };
+                if filters.is_empty() {
+                    Ok(joined)
+                } else {
+                    let mut aggs = Vec::new();
+                    let cfilters = filters
+                        .iter()
+                        .map(|f| self.compile_expr_in(f, &mut aggs, graph, bound))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if !aggs.is_empty() {
+                        return Err(SparqlError::Unsupported(
+                            "aggregates are not allowed in FILTER".into(),
+                        ));
+                    }
+                    Ok(Node::Filter(cfilters, Box::new(joined)))
+                }
+            }
+            GraphPattern::Union(a, b) => {
+                let mut bound_a = bound.clone();
+                let mut bound_b = bound.clone();
+                let na = self.compile_pattern(a, graph, &mut bound_a)?;
+                let nb = self.compile_pattern(b, graph, &mut bound_b)?;
+                // After a union only vars bound on both branches are
+                // certainly bound.
+                for s in bound_a.intersection(&bound_b) {
+                    bound.insert(*s);
+                }
+                Ok(Node::Union(Box::new(na), Box::new(nb)))
+            }
+            GraphPattern::Optional(a, b) => {
+                let na = self.compile_pattern(a, graph, bound)?;
+                let mut bound_b = bound.clone();
+                let nb = self.compile_pattern(b, graph, &mut bound_b)?;
+                Ok(Node::Optional(Box::new(na), Box::new(nb)))
+            }
+            GraphPattern::SubSelect(sel) => {
+                // SPARQL sub-selects evaluate bottom-up: independent of the
+                // outer bindings.
+                let mut inner_bound = HashSet::new();
+                let csel = self.compile_select(sel, graph, &mut inner_bound)?;
+                for proj in &csel.projection {
+                    bound.insert(proj.slot);
+                }
+                Ok(Node::SubSelect(Box::new(csel)))
+            }
+            GraphPattern::Values(vars, rows) => {
+                let slots: Vec<usize> = vars.iter().map(|v| self.vars.slot(v)).collect();
+                for &s in &slots {
+                    bound.insert(s);
+                }
+                Ok(Node::Values { slots, rows: rows.clone() })
+            }
+            GraphPattern::Bind(expr, var) => {
+                let mut aggs = Vec::new();
+                let cexpr = self.compile_expr_in(expr, &mut aggs, graph, bound)?;
+                if !aggs.is_empty() {
+                    return Err(SparqlError::Unsupported(
+                        "aggregates are not allowed in BIND".into(),
+                    ));
+                }
+                let slot = self.vars.slot(var);
+                bound.insert(slot);
+                Ok(Node::Extend(slot, cexpr))
+            }
+            GraphPattern::Minus(inner) => {
+                // MINUS evaluates its pattern independently (bottom-up); it
+                // binds nothing outward.
+                let mut inner_bound = HashSet::new();
+                let node = self.compile_pattern(inner, graph, &mut inner_bound)?;
+                Ok(Node::Minus(Box::new(node)))
+            }
+        }
+    }
+
+    fn compile_bgp(
+        &mut self,
+        tps: &[crate::ast::TriplePattern],
+        graph: &CGraph,
+        bound: &mut HashSet<usize>,
+    ) -> Result<Node, SparqlError> {
+        let mut plain: Vec<CTriple> = Vec::new();
+        let mut extras: Vec<Node> = Vec::new();
+
+        for tp in tps {
+            let s = self.cpos(&tp.subject);
+            let o = self.cpos(&tp.object);
+            match &tp.predicate {
+                PredicatePattern::Var(v) => {
+                    plain.push(CTriple {
+                        s,
+                        p: CPos::Var(self.vars.slot(v)),
+                        o,
+                        g: graph.clone(),
+                    });
+                }
+                PredicatePattern::Path(path) => {
+                    self.expand_path(s, path, o, graph, &mut plain, &mut extras)?;
+                }
+            }
+        }
+
+        let steps_node = self.plan_steps(plain, bound);
+
+        // Extras (closure paths, alternation unions) run after the indexed
+        // steps so their endpoints are bound where possible.
+        let mut children = Vec::new();
+        if let Some(node) = steps_node {
+            children.push(node);
+        }
+        for extra in extras {
+            // Update bound set with the vars the extra will bind.
+            for v in node_vars(&extra) {
+                bound.insert(v);
+            }
+            children.push(extra);
+        }
+        match children.len() {
+            0 => Ok(Node::Steps(Vec::new())),
+            1 => Ok(children.pop().expect("one child")),
+            _ => Ok(Node::Join(children)),
+        }
+    }
+
+    /// The SPARQL algebra path translation: sequences create fresh
+    /// intermediate variables, alternatives create unions, inverses swap
+    /// endpoints, and closure operators become [`PathStep`]s.
+    fn expand_path(
+        &mut self,
+        s: CPos,
+        path: &PropertyPath,
+        o: CPos,
+        graph: &CGraph,
+        plain: &mut Vec<CTriple>,
+        extras: &mut Vec<Node>,
+    ) -> Result<(), SparqlError> {
+        match path {
+            PropertyPath::Iri(iri) => {
+                let term = Term::Iri(iri.clone());
+                let id = self.term_id(&term);
+                plain.push(CTriple { s, p: CPos::Const(term, id), o, g: graph.clone() });
+                Ok(())
+            }
+            PropertyPath::Inverse(inner) => self.expand_path(o, inner, s, graph, plain, extras),
+            PropertyPath::Sequence(a, b) => {
+                let mid = CPos::Var(self.vars.fresh());
+                self.expand_path(s, a, mid.clone(), graph, plain, extras)?;
+                self.expand_path(mid, b, o, graph, plain, extras)
+            }
+            PropertyPath::Alternative(a, b) => {
+                let mut plain_a = Vec::new();
+                let mut extras_a = Vec::new();
+                self.expand_path(s.clone(), a, o.clone(), graph, &mut plain_a, &mut extras_a)?;
+                let mut plain_b = Vec::new();
+                let mut extras_b = Vec::new();
+                self.expand_path(s, b, o, graph, &mut plain_b, &mut extras_b)?;
+                let branch = |this: &mut Self, plain: Vec<CTriple>, mut extras: Vec<Node>| {
+                    let steps = this.plan_steps(plain, &mut HashSet::new());
+                    let mut children = Vec::new();
+                    if let Some(node) = steps {
+                        children.push(node);
+                    }
+                    children.append(&mut extras);
+                    match children.len() {
+                        0 => Node::Steps(Vec::new()),
+                        1 => children.pop().expect("one child"),
+                        _ => Node::Join(children),
+                    }
+                };
+                let na = branch(self, plain_a, extras_a);
+                let nb = branch(self, plain_b, extras_b);
+                extras.push(Node::Union(Box::new(na), Box::new(nb)));
+                Ok(())
+            }
+            PropertyPath::ZeroOrMore(_)
+            | PropertyPath::OneOrMore(_)
+            | PropertyPath::ZeroOrOne(_) => {
+                let graph_constraint = match graph {
+                    CGraph::Any => GraphConstraint::Any,
+                    CGraph::Default => GraphConstraint::DefaultOnly,
+                    CGraph::Const(_, Some(id)) => GraphConstraint::Named(*id),
+                    CGraph::Const(_, None) => GraphConstraint::Named(TermId(u64::MAX)),
+                    CGraph::Var(_) => {
+                        return Err(SparqlError::Unsupported(
+                            "closure property paths inside GRAPH ?var are not supported"
+                                .into(),
+                        ))
+                    }
+                };
+                extras.push(Node::Path(PathStep {
+                    s,
+                    o,
+                    path: self.compile_cpath(path),
+                    graph: graph_constraint,
+                }));
+                Ok(())
+            }
+        }
+    }
+
+    fn compile_cpath(&mut self, path: &PropertyPath) -> CPath {
+        match path {
+            PropertyPath::Iri(iri) => {
+                let term = Term::Iri(iri.clone());
+                let id = self.term_id(&term);
+                CPath::Iri(term, id)
+            }
+            PropertyPath::Inverse(p) => CPath::Inverse(Box::new(self.compile_cpath(p))),
+            PropertyPath::Sequence(a, b) => CPath::Sequence(
+                Box::new(self.compile_cpath(a)),
+                Box::new(self.compile_cpath(b)),
+            ),
+            PropertyPath::Alternative(a, b) => CPath::Alternative(
+                Box::new(self.compile_cpath(a)),
+                Box::new(self.compile_cpath(b)),
+            ),
+            PropertyPath::ZeroOrMore(p) => CPath::ZeroOrMore(Box::new(self.compile_cpath(p))),
+            PropertyPath::OneOrMore(p) => CPath::OneOrMore(Box::new(self.compile_cpath(p))),
+            PropertyPath::ZeroOrOne(p) => CPath::ZeroOrOne(Box::new(self.compile_cpath(p))),
+        }
+    }
+
+    /// Greedy BGP planning with per-step join-strategy selection.
+    fn plan_steps(&self, mut remaining: Vec<CTriple>, bound: &mut HashSet<usize>) -> Option<Node> {
+        if remaining.is_empty() {
+            return None;
+        }
+        let mut steps = Vec::with_capacity(remaining.len());
+        let mut left_card: f64 = 1.0;
+        while !remaining.is_empty() {
+            // Pick the next triple: prefer those joined to the bound set,
+            // then the smallest constants-only estimate.
+            let mut best = 0usize;
+            let mut best_key = (usize::MAX, usize::MAX);
+            for (i, t) in remaining.iter().enumerate() {
+                let shared = t.var_slots().iter().filter(|s| bound.contains(s)).count();
+                let est = if t.unsatisfiable() {
+                    0
+                } else {
+                    self.view.estimate(&t.const_pattern())
+                };
+                // Joined patterns first (shared>0 → rank 0); among a rank,
+                // smallest estimate first.
+                let rank = if shared > 0 || steps.is_empty() { 0 } else { 1 };
+                let key = (rank, est);
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            let triple = remaining.swap_remove(best);
+            let est_scan = if triple.unsatisfiable() {
+                0
+            } else {
+                self.view.estimate(&triple.const_pattern())
+            };
+
+            // Slots of this triple already bound upstream = join slots.
+            let join_slots: Vec<usize> = {
+                let mut seen = HashSet::new();
+                triple
+                    .var_slots()
+                    .into_iter()
+                    .filter(|s| bound.contains(s) && seen.insert(*s))
+                    .collect()
+            };
+
+            let strategy;
+            let out_card;
+            if join_slots.is_empty() {
+                strategy = Strategy::IndexNlj;
+                out_card = left_card * est_scan as f64;
+            } else {
+                let positions = join_positions(&triple, bound);
+                let per_probe = self.view.avg_fanout(triple.const_pattern(), &positions);
+                let nlj_cost = left_card * (PROBE_COST + per_probe);
+                let hash_cost = 2.0 * est_scan as f64 + left_card;
+                strategy = match self.options.force_join {
+                    Some(ForcedJoin::Nlj) => Strategy::IndexNlj,
+                    Some(ForcedJoin::Hash) => Strategy::HashJoin { join_slots },
+                    None if nlj_cost <= hash_cost => Strategy::IndexNlj,
+                    None => Strategy::HashJoin { join_slots },
+                };
+                out_card = (left_card * per_probe).max(1.0);
+            }
+            left_card = out_card;
+
+            // What access path will the probe use? (For EXPLAIN.) At probe
+            // time only the *join* slots are bound — reflect exactly those
+            // in the pattern. The hash build side scans constants only.
+            let access = {
+                let mut probe = triple.const_pattern();
+                if !matches!(strategy, Strategy::HashJoin { .. }) {
+                    if let CPos::Var(v) = &triple.s {
+                        if bound.contains(v) && probe.s.is_none() {
+                            probe.s = Some(TermId(u64::MAX));
+                        }
+                    }
+                    if let CPos::Var(v) = &triple.p {
+                        if bound.contains(v) && probe.p.is_none() {
+                            probe.p = Some(TermId(u64::MAX));
+                        }
+                    }
+                    if let CPos::Var(v) = &triple.o {
+                        if bound.contains(v) && probe.o.is_none() {
+                            probe.o = Some(TermId(u64::MAX));
+                        }
+                    }
+                    if let CGraph::Var(v) = &triple.g {
+                        if bound.contains(v) {
+                            probe.g = GraphConstraint::Named(TermId(u64::MAX));
+                        }
+                    }
+                }
+                self.view
+                    .access_paths(&probe)
+                    .into_iter()
+                    .next()
+                    .map(|(_, p)| p)
+            };
+
+            for v in triple.var_slots() {
+                bound.insert(v);
+            }
+
+            steps.push(Step { triple, strategy, est_scan, access });
+        }
+        Some(Node::Steps(steps))
+    }
+
+    /// Compiles an expression in a pattern context, allowing
+    /// `EXISTS { ... }` (which compiles its pattern against the current
+    /// graph context and bound set).
+    fn compile_expr_in(
+        &mut self,
+        expr: &Expression,
+        aggregates: &mut Vec<CAggregate>,
+        graph: &CGraph,
+        bound: &HashSet<usize>,
+    ) -> Result<CExpr, SparqlError> {
+        match expr {
+            Expression::Exists(pattern, negated) => {
+                let mut inner_bound = bound.clone();
+                let node = self.compile_pattern(pattern, graph, &mut inner_bound)?;
+                self.exists.push(node);
+                let exists_ref = CExpr::ExistsRef(self.exists.len() - 1);
+                Ok(if *negated {
+                    CExpr::Not(Box::new(exists_ref))
+                } else {
+                    exists_ref
+                })
+            }
+            Expression::Or(a, b) => Ok(CExpr::Or(
+                Box::new(self.compile_expr_in(a, aggregates, graph, bound)?),
+                Box::new(self.compile_expr_in(b, aggregates, graph, bound)?),
+            )),
+            Expression::And(a, b) => Ok(CExpr::And(
+                Box::new(self.compile_expr_in(a, aggregates, graph, bound)?),
+                Box::new(self.compile_expr_in(b, aggregates, graph, bound)?),
+            )),
+            Expression::Not(a) => Ok(CExpr::Not(Box::new(
+                self.compile_expr_in(a, aggregates, graph, bound)?,
+            ))),
+            other => self.compile_expr(other, aggregates),
+        }
+    }
+
+    fn compile_expr(
+        &mut self,
+        expr: &Expression,
+        aggregates: &mut Vec<CAggregate>,
+    ) -> Result<CExpr, SparqlError> {
+        Ok(match expr {
+            Expression::Var(v) => CExpr::Var(self.vars.slot(v)),
+            Expression::Constant(t) => CExpr::Const(Value::from_term(t)),
+            Expression::Or(a, b) => CExpr::Or(
+                Box::new(self.compile_expr(a, aggregates)?),
+                Box::new(self.compile_expr(b, aggregates)?),
+            ),
+            Expression::And(a, b) => CExpr::And(
+                Box::new(self.compile_expr(a, aggregates)?),
+                Box::new(self.compile_expr(b, aggregates)?),
+            ),
+            Expression::Not(a) => CExpr::Not(Box::new(self.compile_expr(a, aggregates)?)),
+            Expression::Compare(op, a, b) => {
+                let ca = self.compile_expr(a, aggregates)?;
+                let cb = self.compile_expr(b, aggregates)?;
+                // Fast path: ?v = <constant term>  →  ID comparison.
+                if *op == crate::ast::CompareOp::Eq {
+                    if let (Expression::Var(v), Expression::Constant(t)) = (&**a, &**b) {
+                        let slot = self.vars.slot(v);
+                        let id = self.term_id(t).map(|i| i.0);
+                        let fallback =
+                            CExpr::Compare(*op, Box::new(ca.clone()), Box::new(cb.clone()));
+                        return Ok(CExpr::SlotEqConst(slot, id, Box::new(fallback)));
+                    }
+                }
+                CExpr::Compare(*op, Box::new(ca), Box::new(cb))
+            }
+            Expression::Arith(op, a, b) => CExpr::Arith(
+                *op,
+                Box::new(self.compile_expr(a, aggregates)?),
+                Box::new(self.compile_expr(b, aggregates)?),
+            ),
+            Expression::Neg(a) => CExpr::Neg(Box::new(self.compile_expr(a, aggregates)?)),
+            Expression::Call(func, args) => {
+                // Fast path: isLiteral(?v) / isIRI(?v) / isBlank(?v).
+                if args.len() == 1 {
+                    if let Expression::Var(v) = &args[0] {
+                        let kind = match func {
+                            crate::ast::Function::IsLiteral => Some(TermKind::Literal),
+                            crate::ast::Function::IsIri => Some(TermKind::Iri),
+                            crate::ast::Function::IsBlank => Some(TermKind::Blank),
+                            _ => None,
+                        };
+                        if let Some(kind) = kind {
+                            return Ok(CExpr::KindCheck(self.vars.slot(v), kind));
+                        }
+                    }
+                }
+                let cargs = args
+                    .iter()
+                    .map(|a| self.compile_expr(a, aggregates))
+                    .collect::<Result<Vec<_>, _>>()?;
+                CExpr::Call(*func, cargs)
+            }
+            Expression::Aggregate(agg) => {
+                let cagg = match &**agg {
+                    Aggregate::CountAll => CAggregate::CountAll,
+                    Aggregate::Count { distinct, expr } => CAggregate::Count {
+                        distinct: *distinct,
+                        expr: self.compile_expr(expr, aggregates)?,
+                    },
+                    Aggregate::Sum(e) => CAggregate::Sum(self.compile_expr(e, aggregates)?),
+                    Aggregate::Avg(e) => CAggregate::Avg(self.compile_expr(e, aggregates)?),
+                    Aggregate::Min(e) => CAggregate::Min(self.compile_expr(e, aggregates)?),
+                    Aggregate::Max(e) => CAggregate::Max(self.compile_expr(e, aggregates)?),
+                };
+                aggregates.push(cagg);
+                CExpr::Agg(aggregates.len() - 1)
+            }
+            Expression::Exists(_, _) => {
+                return Err(SparqlError::Unsupported(
+                    "EXISTS is only allowed inside FILTER".into(),
+                ))
+            }
+        })
+    }
+}
+
+/// Extracts `?v = <const>` pins from a conjunctive filter list. Only IRIs
+/// and plain string literals qualify: for those, term identity under the
+/// canonical dictionary coincides with SPARQL value equality, so pattern
+/// substitution cannot change the result set.
+fn extract_pins(filters: &[Expression]) -> Vec<(String, Term)> {
+    fn walk(expr: &Expression, out: &mut Vec<(String, Term)>) {
+        match expr {
+            Expression::And(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Expression::Compare(crate::ast::CompareOp::Eq, a, b) => {
+                let pair = match (&**a, &**b) {
+                    (Expression::Var(v), Expression::Constant(t))
+                    | (Expression::Constant(t), Expression::Var(v)) => Some((v, t)),
+                    _ => None,
+                };
+                if let Some((v, t)) = pair {
+                    let safe = match t {
+                        Term::Iri(_) => true,
+                        Term::Literal(lit) => {
+                            lit.effective_datatype() == rdf_model::vocab::xsd::STRING
+                        }
+                        Term::Blank(_) => false,
+                    };
+                    if safe && !out.iter().any(|(existing, _)| existing == v) {
+                        out.push((v.clone(), t.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut pins = Vec::new();
+    for f in filters {
+        walk(f, &mut pins);
+    }
+    pins
+}
+
+/// Substitutes pinned variables with their constants inside a pattern
+/// (recursively through groups, graphs, unions, and optionals; not into
+/// sub-SELECTs, which have their own scope).
+fn substitute_pattern(pattern: &GraphPattern, pins: &[(String, Term)]) -> GraphPattern {
+    let sub_vt = |vt: &VarOrTerm| -> VarOrTerm {
+        if let VarOrTerm::Var(v) = vt {
+            if let Some((_, t)) = pins.iter().find(|(p, _)| p == v) {
+                return VarOrTerm::Term(t.clone());
+            }
+        }
+        vt.clone()
+    };
+    match pattern {
+        GraphPattern::Bgp(tps) => GraphPattern::Bgp(
+            tps.iter()
+                .map(|tp| crate::ast::TriplePattern {
+                    subject: sub_vt(&tp.subject),
+                    predicate: match &tp.predicate {
+                        PredicatePattern::Var(v) => {
+                            match pins.iter().find(|(p, _)| p == v) {
+                                Some((_, Term::Iri(iri))) => PredicatePattern::Path(
+                                    PropertyPath::Iri(iri.clone()),
+                                ),
+                                _ => tp.predicate.clone(),
+                            }
+                        }
+                        path => path.clone(),
+                    },
+                    object: sub_vt(&tp.object),
+                })
+                .collect(),
+        ),
+        GraphPattern::Graph(g, inner) => {
+            GraphPattern::Graph(sub_vt(g), Box::new(substitute_pattern(inner, pins)))
+        }
+        GraphPattern::Group(members, filters) => GraphPattern::Group(
+            members.iter().map(|m| substitute_pattern(m, pins)).collect(),
+            filters.clone(),
+        ),
+        GraphPattern::Union(a, b) => GraphPattern::Union(
+            Box::new(substitute_pattern(a, pins)),
+            Box::new(substitute_pattern(b, pins)),
+        ),
+        GraphPattern::Optional(a, b) => GraphPattern::Optional(
+            Box::new(substitute_pattern(a, pins)),
+            Box::new(substitute_pattern(b, pins)),
+        ),
+        GraphPattern::Minus(inner) => {
+            GraphPattern::Minus(Box::new(substitute_pattern(inner, pins)))
+        }
+        GraphPattern::SubSelect(_) | GraphPattern::Values(_, _) | GraphPattern::Bind(_, _) => {
+            pattern.clone()
+        }
+    }
+}
+
+fn join_positions(triple: &CTriple, bound: &HashSet<usize>) -> Vec<usize> {
+    let mut positions = Vec::new();
+    if let CPos::Var(s) = &triple.s {
+        if bound.contains(s) {
+            positions.push(quadstore::ids::S);
+        }
+    }
+    if let CPos::Var(s) = &triple.p {
+        if bound.contains(s) {
+            positions.push(quadstore::ids::P);
+        }
+    }
+    if let CPos::Var(s) = &triple.o {
+        if bound.contains(s) {
+            positions.push(quadstore::ids::O);
+        }
+    }
+    if let CGraph::Var(s) = &triple.g {
+        if bound.contains(s) {
+            positions.push(quadstore::ids::G);
+        }
+    }
+    positions
+}
+
+/// All variable slots a node can bind.
+pub fn node_vars(node: &Node) -> Vec<usize> {
+    let mut out = Vec::new();
+    collect_vars(node, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn collect_vars(node: &Node, out: &mut Vec<usize>) {
+    match node {
+        Node::Steps(steps) => {
+            for step in steps {
+                out.extend(step.triple.var_slots());
+            }
+        }
+        Node::Path(p) => {
+            if let CPos::Var(s) = &p.s {
+                out.push(*s);
+            }
+            if let CPos::Var(s) = &p.o {
+                out.push(*s);
+            }
+        }
+        Node::Join(children) => {
+            for c in children {
+                collect_vars(c, out);
+            }
+        }
+        Node::Filter(_, inner) => collect_vars(inner, out),
+        Node::Union(a, b) | Node::Optional(a, b) => {
+            collect_vars(a, out);
+            collect_vars(b, out);
+        }
+        Node::SubSelect(sel) => out.extend(sel.projected_slots()),
+        Node::Values { slots, .. } => out.extend(slots.iter().copied()),
+        Node::Extend(slot, _) => out.push(*slot),
+        Node::Minus(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use quadstore::Store;
+    use rdf_model::Quad;
+
+    fn small_store() -> Store {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let f = "http://pg/r/follows";
+        let tag = "http://pg/k/hasTag";
+        let mut quads = Vec::new();
+        for i in 0..100u32 {
+            quads.push(
+                Quad::triple(
+                    Term::iri(format!("http://pg/v{i}")),
+                    Term::iri(f),
+                    Term::iri(format!("http://pg/v{}", (i + 1) % 100)),
+                )
+                .unwrap(),
+            );
+        }
+        quads.push(
+            Quad::triple(Term::iri("http://pg/v1"), Term::iri(tag), Term::string("#x")).unwrap(),
+        );
+        store.bulk_load("m", &quads).unwrap();
+        store
+    }
+
+    #[test]
+    fn selective_pattern_planned_first() {
+        let store = small_store();
+        let view = store.dataset("m").unwrap();
+        let q = parse_query(
+            "PREFIX k: <http://pg/k/> PREFIX r: <http://pg/r/>\
+             SELECT ?nf WHERE { ?n k:hasTag \"#x\" . ?nf r:follows ?n }",
+        )
+        .unwrap();
+        let c = compile(&view, &q).unwrap();
+        let CForm::Select(sel) = c.form else { panic!("expected select") };
+        let Node::Steps(steps) = &sel.root else { panic!("expected steps") };
+        // hasTag (est 1) must be planned before follows (est 100).
+        assert!(steps[0].est_scan <= steps[1].est_scan);
+        assert_eq!(steps.len(), 2);
+        // Second step is joined: small left side → NLJ.
+        assert_eq!(steps[1].strategy, Strategy::IndexNlj);
+    }
+
+    #[test]
+    fn sequence_paths_expand_to_joins() {
+        let store = small_store();
+        let view = store.dataset("m").unwrap();
+        let q = parse_query(
+            "PREFIX r: <http://pg/r/> SELECT ?y WHERE { <http://pg/v1> r:follows/r:follows ?y }",
+        )
+        .unwrap();
+        let c = compile(&view, &q).unwrap();
+        let CForm::Select(sel) = c.form else { panic!("expected select") };
+        let Node::Steps(steps) = &sel.root else { panic!("expected steps") };
+        assert_eq!(steps.len(), 2);
+    }
+
+    #[test]
+    fn alternation_becomes_union() {
+        let store = small_store();
+        let view = store.dataset("m").unwrap();
+        let q = parse_query(
+            "PREFIX r: <http://pg/r/> SELECT ?y WHERE { ?x (r:follows|r:follows) ?y }",
+        )
+        .unwrap();
+        let c = compile(&view, &q).unwrap();
+        let CForm::Select(sel) = c.form else { panic!("expected select") };
+        assert!(matches!(sel.root, Node::Union(_, _)));
+    }
+
+    #[test]
+    fn closure_becomes_path_step() {
+        let store = small_store();
+        let view = store.dataset("m").unwrap();
+        let q = parse_query(
+            "PREFIX r: <http://pg/r/> SELECT ?y WHERE { <http://pg/v1> r:follows+ ?y }",
+        )
+        .unwrap();
+        let c = compile(&view, &q).unwrap();
+        let CForm::Select(sel) = c.form else { panic!("expected select") };
+        assert!(matches!(sel.root, Node::Path(_)));
+    }
+
+    #[test]
+    fn missing_constant_marks_unsatisfiable() {
+        let store = small_store();
+        let view = store.dataset("m").unwrap();
+        let q = parse_query("SELECT ?x WHERE { ?x <http://nowhere> ?y }").unwrap();
+        let c = compile(&view, &q).unwrap();
+        let CForm::Select(sel) = c.form else { panic!("expected select") };
+        let Node::Steps(steps) = &sel.root else { panic!("expected steps") };
+        assert!(steps[0].triple.unsatisfiable());
+        assert_eq!(steps[0].est_scan, 0);
+    }
+
+    #[test]
+    fn aggregates_are_collected() {
+        let store = small_store();
+        let view = store.dataset("m").unwrap();
+        let q = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?x ?p ?y }").unwrap();
+        let c = compile(&view, &q).unwrap();
+        let CForm::Select(sel) = c.form else { panic!("expected select") };
+        assert_eq!(sel.aggregates.len(), 1);
+        assert!(sel.is_grouped());
+        assert!(matches!(sel.projection[0].expr, Some(CExpr::Agg(0))));
+    }
+
+    #[test]
+    fn filter_eq_const_gets_fast_path() {
+        let store = small_store();
+        let view = store.dataset("m").unwrap();
+        let q = parse_query(
+            "SELECT ?v WHERE { ?x ?k ?v FILTER (?v = \"#x\") }",
+        )
+        .unwrap();
+        let c = compile(&view, &q).unwrap();
+        let CForm::Select(sel) = c.form else { panic!("expected select") };
+        let Node::Filter(filters, _) = &sel.root else { panic!("expected filter") };
+        assert!(matches!(filters[0], CExpr::SlotEqConst(_, Some(_), _)));
+    }
+
+    #[test]
+    fn fresh_vars_are_hidden_from_select_star() {
+        let store = small_store();
+        let view = store.dataset("m").unwrap();
+        let q = parse_query(
+            "PREFIX r: <http://pg/r/> SELECT * WHERE { ?x r:follows/r:follows ?y }",
+        )
+        .unwrap();
+        let c = compile(&view, &q).unwrap();
+        let CForm::Select(sel) = c.form else { panic!("expected select") };
+        let names: Vec<&str> = sel
+            .projection
+            .iter()
+            .map(|p| c.vars.name(p.slot))
+            .collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

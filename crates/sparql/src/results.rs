@@ -1,0 +1,107 @@
+//! Decoded query results.
+
+use std::fmt;
+
+use rdf_model::Term;
+
+/// A materialised SELECT result: variable names and rows of optional terms
+/// (unbound columns are `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solutions {
+    /// Projected variable names, in SELECT order.
+    pub vars: Vec<String>,
+    /// Solution rows.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl Solutions {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a variable column.
+    pub fn column(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// Iterates the terms of one column.
+    pub fn column_terms<'a>(&'a self, var: &str) -> impl Iterator<Item = &'a Term> + 'a {
+        let col = self.column(var);
+        self.rows
+            .iter()
+            .filter_map(move |row| col.and_then(|c| row[c].as_ref()))
+    }
+
+    /// The single scalar of a one-row, one-column result (e.g. `COUNT`
+    /// queries) interpreted as an integer.
+    pub fn scalar_i64(&self) -> Option<i64> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            self.rows[0][0]
+                .as_ref()
+                .and_then(|t| t.as_literal())
+                .and_then(|l| l.as_i64())
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Solutions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.vars.join("\t"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|t| t.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                .collect();
+            writeln!(f, "{}", cells.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_extraction() {
+        let s = Solutions {
+            vars: vec!["cnt".into()],
+            rows: vec![vec![Some(Term::Literal(rdf_model::Literal::integer(42)))]],
+        };
+        assert_eq!(s.scalar_i64(), Some(42));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn column_access() {
+        let s = Solutions {
+            vars: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Some(Term::iri("http://x")), None],
+                vec![Some(Term::iri("http://y")), Some(Term::string("v"))],
+            ],
+        };
+        assert_eq!(s.column("b"), Some(1));
+        assert_eq!(s.column_terms("a").count(), 2);
+        assert_eq!(s.column_terms("b").count(), 1);
+        assert_eq!(s.scalar_i64(), None);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let s = Solutions {
+            vars: vec!["x".into()],
+            rows: vec![vec![Some(Term::iri("http://x"))]],
+        };
+        let text = s.to_string();
+        assert!(text.contains("<http://x>"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the SPARQL engine: physical-plan choices must
+//! never change results, and the algebraic operators must obey their
+//! laws, for arbitrary small datasets and patterns.
+
+use proptest::prelude::*;
+use quadstore::Store;
+use rdf_model::{GraphName, Quad, Term};
+use sparql::{compile_with, execute_compiled, parse_query, CompileOptions, ForcedJoin, QueryResults};
+
+/// A small random dataset: quads over bounded vocabularies so joins and
+/// graph matches actually happen.
+fn arb_store() -> impl Strategy<Value = Store> {
+    proptest::collection::vec(
+        (0u8..6, 0u8..4, 0u8..8, 0u8..4),
+        1..40,
+    )
+    .prop_map(|rows| {
+        let mut store = Store::new();
+        store.create_model("m").expect("fresh model");
+        let quads: Vec<Quad> = rows
+            .into_iter()
+            .map(|(s, p, o, g)| {
+                let object = if o % 3 == 0 {
+                    Term::string(format!("lit{o}"))
+                } else {
+                    Term::iri(format!("http://n{o}"))
+                };
+                let graph = if g == 0 {
+                    GraphName::Default
+                } else {
+                    GraphName::iri(format!("http://g{g}"))
+                };
+                Quad::new(
+                    Term::iri(format!("http://n{s}")),
+                    Term::iri(format!("http://p{p}")),
+                    object,
+                    graph,
+                )
+                .expect("valid quad")
+            })
+            .collect();
+        store.bulk_load("m", &quads).expect("bulk load");
+        store
+    })
+}
+
+/// Queries whose joins exercise the planner.
+fn queries() -> Vec<&'static str> {
+    vec![
+        "SELECT ?x ?y WHERE { ?x <http://p0> ?y }",
+        "SELECT ?x ?z WHERE { ?x <http://p0> ?y . ?y <http://p1> ?z }",
+        "SELECT ?x WHERE { ?x <http://p0> ?y . ?x <http://p1> ?z }",
+        "SELECT ?x ?y WHERE { ?x ?p ?y . ?y ?q ?x }",
+        "SELECT (COUNT(*) AS ?c) WHERE { ?x <http://p0> ?y . ?y <http://p0> ?z }",
+        "SELECT ?g ?x WHERE { GRAPH ?g { ?x <http://p1> ?y } }",
+        "SELECT ?x WHERE { ?x <http://p0> ?y FILTER (isIRI(?y)) }",
+        "SELECT DISTINCT ?x WHERE { ?x ?p ?y }",
+    ]
+}
+
+fn run(store: &Store, text: &str, force: Option<ForcedJoin>) -> Vec<String> {
+    let view = store.dataset("m").expect("dataset");
+    let parsed = parse_query(text).expect("parse");
+    let options = CompileOptions { force_join: force, ..Default::default() };
+    let compiled = compile_with(&view, &parsed, options).expect("compile");
+    match execute_compiled(&view, &compiled).expect("execute") {
+        QueryResults::Solutions(s) => {
+            let mut rows: Vec<String> = s
+                .rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|t| t.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                        .collect::<Vec<_>>()
+                        .join("|")
+                })
+                .collect();
+            rows.sort();
+            rows
+        }
+        QueryResults::Boolean(b) => vec![b.to_string()],
+        QueryResults::Graph(_) => panic!("no CONSTRUCT in these tests"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn join_strategy_never_changes_results(store in arb_store()) {
+        for q in queries() {
+            let plain = run(&store, q, None);
+            let nlj = run(&store, q, Some(ForcedJoin::Nlj));
+            let hash = run(&store, q, Some(ForcedJoin::Hash));
+            prop_assert_eq!(&plain, &nlj, "NLJ differs on {}", q);
+            prop_assert_eq!(&plain, &hash, "hash join differs on {}", q);
+        }
+    }
+
+    #[test]
+    fn distinct_is_a_subset_with_unique_rows(store in arb_store()) {
+        let all = run(&store, "SELECT ?x ?y WHERE { ?x ?p ?y }", None);
+        let distinct = run(&store, "SELECT DISTINCT ?x ?y WHERE { ?x ?p ?y }", None);
+        let unique: std::collections::BTreeSet<_> = all.iter().cloned().collect();
+        prop_assert_eq!(distinct.len(), unique.len());
+        for row in &distinct {
+            prop_assert!(unique.contains(row));
+        }
+    }
+
+    #[test]
+    fn limit_truncates(store in arb_store()) {
+        let all = run(&store, "SELECT ?x WHERE { ?x ?p ?y }", None);
+        let limited = run(&store, "SELECT ?x WHERE { ?x ?p ?y } LIMIT 3", None);
+        prop_assert_eq!(limited.len(), all.len().min(3));
+    }
+
+    #[test]
+    fn union_default_graph_supersets_strict(store in arb_store()) {
+        let q = "SELECT ?x ?y WHERE { ?x <http://p1> ?y }";
+        let view = store.dataset("m").expect("dataset");
+        let parsed = parse_query(q).expect("parse");
+        let strict = compile_with(&view, &parsed,
+            CompileOptions { union_default_graph: false, ..Default::default() }).expect("compile");
+        let union = compile_with(&view, &parsed, CompileOptions::default()).expect("compile");
+        let count = |c: &sparql::CompiledQuery| match execute_compiled(&view, c).expect("execute") {
+            QueryResults::Solutions(s) => s.len(),
+            _ => 0,
+        };
+        prop_assert!(count(&union) >= count(&strict));
+    }
+
+    #[test]
+    fn ask_agrees_with_select(store in arb_store()) {
+        let select = run(&store, "SELECT ?x WHERE { ?x <http://p2> ?y }", None);
+        let ask = run(&store, "ASK { ?x <http://p2> ?y }", None);
+        prop_assert_eq!(ask[0] == "true", !select.is_empty());
+    }
+
+    #[test]
+    fn count_star_equals_row_count(store in arb_store()) {
+        let rows = run(&store, "SELECT ?x ?y WHERE { ?x <http://p0> ?y . ?x <http://p1> ?z }", None);
+        let view = store.dataset("m").expect("dataset");
+        let parsed = parse_query(
+            "SELECT (COUNT(*) AS ?c) WHERE { ?x <http://p0> ?y . ?x <http://p1> ?z }").expect("parse");
+        let compiled = compile_with(&view, &parsed, CompileOptions::default()).expect("compile");
+        let QueryResults::Solutions(s) = execute_compiled(&view, &compiled).expect("run") else {
+            panic!("expected solutions");
+        };
+        prop_assert_eq!(s.scalar_i64().expect("scalar") as usize, rows.len());
+    }
+
+    #[test]
+    fn path_plus_is_transitive_closure_of_single_step(store in arb_store()) {
+        // Every pair reachable via p0 directly must be in p0+.
+        let direct = run(&store, "SELECT DISTINCT ?x ?y WHERE { ?x <http://p0> ?y }", None);
+        let closure = run(&store, "SELECT DISTINCT ?x ?y WHERE { ?x <http://p0>+ ?y }", None);
+        let closure_set: std::collections::BTreeSet<_> = closure.iter().cloned().collect();
+        for pair in &direct {
+            prop_assert!(closure_set.contains(pair), "missing direct pair {}", pair);
+        }
+        // And p0+ ⊆ p0* (minus the zero-length pairs); just check sizes.
+        prop_assert!(closure.len() >= direct.len());
+    }
+}

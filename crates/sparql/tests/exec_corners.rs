@@ -1,0 +1,242 @@
+//! Executor corner cases: OPTIONAL, VALUES, multi-key ORDER BY,
+//! OFFSET/LIMIT, sub-SELECT joins, language tags, aggregates over empty
+//! input, and the computed-term identity rules.
+
+use quadstore::Store;
+use rdf_model::{GraphName, Literal, Quad, Term};
+use sparql::{QueryResults, Solutions};
+
+fn store() -> Store {
+    let mut store = Store::new();
+    store.create_model("m").expect("model");
+    let t = |s: &str, p: &str, o: Term| {
+        Quad::triple(Term::iri(s), Term::iri(p), o).expect("valid")
+    };
+    store
+        .bulk_load(
+            "m",
+            &[
+                t("http://a", "http://name", Term::string("alice")),
+                t("http://a", "http://age", Term::int(30)),
+                t("http://b", "http://name", Term::string("bob")),
+                t("http://c", "http://name", Term::string("carol")),
+                t("http://c", "http://age", Term::int(25)),
+                t("http://a", "http://knows", Term::iri("http://b")),
+                t("http://b", "http://knows", Term::iri("http://c")),
+                t("http://a", "http://label", Term::Literal(Literal::lang_string("zug", "de"))),
+                Quad::new(
+                    Term::iri("http://a"),
+                    Term::iri("http://secret"),
+                    Term::string("hidden"),
+                    GraphName::iri("http://g1"),
+                )
+                .expect("valid"),
+            ],
+        )
+        .expect("load");
+    store
+}
+
+fn select(q: &str) -> Solutions {
+    sparql::select(&store(), "m", q).expect("query runs")
+}
+
+#[test]
+fn optional_keeps_unmatched_left_rows() {
+    let sols = select(
+        "SELECT ?x ?age WHERE { ?x <http://name> ?n OPTIONAL { ?x <http://age> ?age } }",
+    );
+    assert_eq!(sols.len(), 3);
+    let unbound = sols.rows.iter().filter(|r| r[1].is_none()).count();
+    assert_eq!(unbound, 1, "bob has no age");
+}
+
+#[test]
+fn optional_binds_when_present() {
+    let sols = select(
+        "SELECT ?x ?age WHERE { ?x <http://name> \"alice\" OPTIONAL { ?x <http://age> ?age } }",
+    );
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.rows[0][1].as_ref().unwrap().str_value(), "30");
+}
+
+#[test]
+fn values_restricts_and_binds() {
+    let sols = select(
+        "SELECT ?x ?n WHERE { VALUES ?x { <http://a> <http://c> } ?x <http://name> ?n }",
+    );
+    assert_eq!(sols.len(), 2);
+}
+
+#[test]
+fn values_multi_column_with_undef() {
+    let sols = select(
+        "SELECT ?x ?n WHERE { VALUES (?x ?n) { (<http://a> \"alice\") (<http://b> UNDEF) } \
+         ?x <http://name> ?n }",
+    );
+    // Row 1 pins both (consistent); row 2 leaves ?n free.
+    assert_eq!(sols.len(), 2);
+}
+
+#[test]
+fn order_by_multiple_keys_and_offset() {
+    let sols = select(
+        "SELECT ?n ?x WHERE { ?x <http://name> ?n } ORDER BY ?n LIMIT 2 OFFSET 1",
+    );
+    assert_eq!(sols.len(), 2);
+    assert_eq!(sols.rows[0][0].as_ref().unwrap().str_value(), "bob");
+    assert_eq!(sols.rows[1][0].as_ref().unwrap().str_value(), "carol");
+}
+
+#[test]
+fn order_by_desc_numeric() {
+    let sols = select(
+        "SELECT ?x ?a WHERE { ?x <http://age> ?a } ORDER BY DESC(?a)",
+    );
+    assert_eq!(sols.rows[0][1].as_ref().unwrap().str_value(), "30");
+    assert_eq!(sols.rows[1][1].as_ref().unwrap().str_value(), "25");
+}
+
+#[test]
+fn subselect_joins_with_outer_pattern() {
+    let sols = select(
+        "SELECT ?x ?n WHERE { { SELECT ?x WHERE { ?x <http://age> ?a } } ?x <http://name> ?n }",
+    );
+    assert_eq!(sols.len(), 2); // alice + carol have ages
+}
+
+#[test]
+fn aggregate_over_empty_input_yields_zero() {
+    let sols = select("SELECT (COUNT(*) AS ?c) WHERE { ?x <http://nothing> ?y }");
+    assert_eq!(sols.scalar_i64(), Some(0));
+}
+
+#[test]
+fn sum_avg_min_max() {
+    let sols = select(
+        "SELECT (SUM(?a) AS ?s) (AVG(?a) AS ?avg) (MIN(?a) AS ?min) (MAX(?a) AS ?max) \
+         WHERE { ?x <http://age> ?a }",
+    );
+    let row = &sols.rows[0];
+    assert_eq!(row[0].as_ref().unwrap().str_value(), "55");
+    assert_eq!(row[1].as_ref().unwrap().str_value(), "27.5");
+    assert_eq!(row[2].as_ref().unwrap().str_value(), "25");
+    assert_eq!(row[3].as_ref().unwrap().str_value(), "30");
+}
+
+#[test]
+fn count_distinct() {
+    let sols = select(
+        "SELECT (COUNT(DISTINCT ?p) AS ?c) WHERE { <http://a> ?p ?o }",
+    );
+    // name, age, knows, label, secret (named graph; union semantics).
+    assert_eq!(sols.scalar_i64(), Some(5));
+}
+
+#[test]
+fn lang_tag_functions() {
+    let sols = select(
+        "SELECT ?l WHERE { ?x <http://label> ?l FILTER (LANG(?l) = \"de\") }",
+    );
+    assert_eq!(sols.len(), 1);
+}
+
+#[test]
+fn named_graph_data_visible_without_graph_clause() {
+    // Union default graph semantics (Oracle SEM_MATCH style).
+    let sols = select("SELECT ?o WHERE { <http://a> <http://secret> ?o }");
+    assert_eq!(sols.len(), 1);
+    // But GRAPH restricts to named graphs and binds the graph.
+    let sols = select(
+        "SELECT ?g WHERE { GRAPH ?g { <http://a> <http://secret> ?o } }",
+    );
+    assert_eq!(sols.rows[0][0].as_ref().unwrap().str_value(), "http://g1");
+}
+
+#[test]
+fn projection_expression_arithmetic() {
+    let sols = select(
+        "SELECT ?x ((?a + 1) AS ?next) WHERE { ?x <http://age> ?a } ORDER BY ?next",
+    );
+    assert_eq!(sols.rows[0][1].as_ref().unwrap().str_value(), "26");
+    assert_eq!(sols.rows[1][1].as_ref().unwrap().str_value(), "31");
+}
+
+#[test]
+fn grouped_computed_keys_merge() {
+    // Two different nodes with the same computed (COUNT) value group into
+    // one row at the outer level — the computed-term identity rule.
+    let sols = select(
+        "SELECT ?cnt (COUNT(*) AS ?nodes) WHERE { \
+           SELECT ?x (COUNT(*) AS ?cnt) WHERE { ?x <http://name> ?n } GROUP BY ?x \
+         } GROUP BY ?cnt",
+    );
+    assert_eq!(sols.len(), 1, "all three nodes have exactly 1 name");
+    assert_eq!(sols.rows[0][1].as_ref().unwrap().str_value(), "3");
+}
+
+#[test]
+fn union_combines_branches() {
+    let sols = select(
+        "SELECT ?v WHERE { { <http://a> <http://name> ?v } UNION { <http://a> <http://age> ?v } }",
+    );
+    assert_eq!(sols.len(), 2);
+}
+
+#[test]
+fn ask_true_and_false() {
+    let store = store();
+    match sparql::query(&store, "m", "ASK { <http://a> <http://knows> <http://b> }").unwrap() {
+        QueryResults::Boolean(b) => assert!(b),
+        _ => panic!("expected boolean"),
+    }
+    match sparql::query(&store, "m", "ASK { <http://b> <http://knows> <http://a> }").unwrap() {
+        QueryResults::Boolean(b) => assert!(!b),
+        _ => panic!("expected boolean"),
+    }
+}
+
+#[test]
+fn repeated_variable_in_pattern() {
+    let mut store = Store::new();
+    store.create_model("m").unwrap();
+    store
+        .bulk_load(
+            "m",
+            &[
+                Quad::triple(Term::iri("http://x"), Term::iri("http://p"), Term::iri("http://x"))
+                    .unwrap(),
+                Quad::triple(Term::iri("http://x"), Term::iri("http://p"), Term::iri("http://y"))
+                    .unwrap(),
+            ],
+        )
+        .unwrap();
+    let sols = sparql::select(&store, "m", "SELECT ?a WHERE { ?a <http://p> ?a }").unwrap();
+    assert_eq!(sols.len(), 1, "only the self-loop binds ?a twice");
+}
+
+#[test]
+fn filter_regex_and_strstarts() {
+    let sols = select(
+        "SELECT ?n WHERE { ?x <http://name> ?n FILTER (REGEX(?n, \"^ali\")) }",
+    );
+    assert_eq!(sols.len(), 1);
+    let sols = select(
+        "SELECT ?n WHERE { ?x <http://name> ?n FILTER (STRSTARTS(?n, \"c\")) }",
+    );
+    assert_eq!(sols.len(), 1);
+}
+
+#[test]
+fn inverse_path() {
+    let sols = select("SELECT ?x WHERE { <http://b> ^<http://knows> ?x }");
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.rows[0][0].as_ref().unwrap().str_value(), "http://a");
+}
+
+#[test]
+fn zero_or_one_path() {
+    let sols = select("SELECT ?y WHERE { <http://a> <http://knows>? ?y }");
+    // a itself (zero) + b (one).
+    assert_eq!(sols.len(), 2);
+}

@@ -1,0 +1,75 @@
+//! Social network analytics on a Twitter-style ego-network graph (§4).
+//!
+//! Generates a scaled-down analogue of the paper's SNAP Twitter dataset,
+//! loads it under both the NG and SP models with the §3.2 partitioned
+//! layout, and walks through the five experiment families of §4.4:
+//! node-centric, edge-centric, aggregates, traversal, triangles.
+//!
+//! ```sh
+//! cargo run --release --example social_network [scale]
+//! ```
+
+use pgrdf::PgRdfModel;
+use pgrdf_bench::{fmt_ms, Eq, Fixture};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    println!("generating Twitter-style dataset at scale {scale} (1.0 = paper size)...");
+    let fixture = Fixture::at_scale(scale);
+    println!(
+        "graph: {} nodes, {} edges, {} node KVs, {} edge KVs; benchmark tag {:?}",
+        fixture.graph.vertex_count(),
+        fixture.graph.edge_count(),
+        fixture.graph.node_kv_count(),
+        fixture.graph.edge_kv_count(),
+        fixture.tag,
+    );
+
+    let families: &[(&str, Vec<Eq>)] = &[
+        ("node-centric", vec![Eq::Eq1, Eq::Eq2, Eq::Eq4]),
+        ("edge-centric", vec![Eq::Eq5, Eq::Eq6, Eq::Eq8]),
+        ("aggregates", vec![Eq::Eq9, Eq::Eq10]),
+        ("traversal", vec![Eq::Eq11(1), Eq::Eq11(2), Eq::Eq11(3)]),
+        ("triangles", vec![Eq::Eq12]),
+    ];
+
+    for (family, queries) in families {
+        println!("\n[{family}]");
+        for &eq in queries {
+            for model in [PgRdfModel::NG, PgRdfModel::SP] {
+                let text = fixture.query_text(eq, model);
+                let dataset = fixture.dataset_for(eq, model);
+                let (elapsed, rows) = fixture.run(eq, model);
+                println!(
+                    "  {:<7} {:<3} -> {:>8} rows in {:>10}  (dataset {})",
+                    eq.label(model),
+                    model.to_string(),
+                    rows,
+                    fmt_ms(elapsed),
+                    dataset
+                );
+                if eq == Eq::Eq5 && model == PgRdfModel::NG {
+                    println!("    query text:\n{}", indent(&text));
+                }
+            }
+        }
+    }
+
+    // The plans behind the numbers (Table 5).
+    println!("\n[EXPLAIN EQ2 on NG]");
+    let text = fixture.query_text(Eq::Eq2, PgRdfModel::NG);
+    match fixture.ng.explain(&text) {
+        Ok(plan) => println!("{plan}"),
+        Err(e) => println!("explain failed: {e}"),
+    }
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("      {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -1,0 +1,105 @@
+//! Table 2 verification: the paper's cardinality formulas must equal the
+//! measured counts of actual conversions — on the running example, on
+//! generated Twitter data, and on randomly generated property graphs
+//! (property-based).
+
+use pgrdf::cardinality::{measure, predict, predict_subjects, resource_counts, PgCardinalities};
+use pgrdf::{convert, PgRdfModel, PgVocab};
+use propertygraph::PropertyGraph;
+use proptest::prelude::*;
+
+fn assert_table2(graph: &PropertyGraph) {
+    let vocab = PgVocab::default();
+    let pg = PgCardinalities::of(graph);
+    for model in PgRdfModel::ALL {
+        let quads = convert(graph, model, &vocab);
+        let measured = measure(&quads, &vocab);
+        let predicted = predict(model, &pg);
+        assert_eq!(measured, predicted, "{model} on graph with E={}", pg.e);
+        assert_eq!(
+            resource_counts(&quads).subjects,
+            predict_subjects(model, graph),
+            "{model} subject prediction"
+        );
+    }
+}
+
+#[test]
+fn figure1_graph() {
+    assert_table2(&PropertyGraph::sample_figure1());
+}
+
+#[test]
+fn twitter_generated_graph() {
+    let graph = twittergen::generate(&twittergen::TwitterGenConfig::with_seed(0.002, 5));
+    assert_table2(&graph);
+}
+
+#[test]
+fn empty_graph() {
+    assert_table2(&PropertyGraph::new());
+}
+
+#[test]
+fn graph_with_only_isolated_vertices() {
+    let mut g = PropertyGraph::new();
+    g.add_vertex(1);
+    g.add_vertex(2);
+    // Isolated vertices produce one rdf:type triple each: obj-prop count 2,
+    // which Table 2's edge formulas put at 0 — the special case is extra.
+    let vocab = PgVocab::default();
+    for model in PgRdfModel::ALL {
+        let quads = convert(&g, model, &vocab);
+        assert_eq!(quads.len(), 2);
+        assert_eq!(resource_counts(&quads).subjects, 2);
+    }
+}
+
+/// Strategy: a random property graph with unique (src, label, dst) per
+/// edge — the paper's Table 2 assumes no parallel same-label edges (their
+/// `-s-p-o` triples would deduplicate).
+fn arb_graph() -> impl Strategy<Value = PropertyGraph> {
+    let edges = proptest::collection::btree_set((0u64..12, 0usize..3, 0u64..12), 0..25);
+    let node_props = proptest::collection::vec((0u64..12, 0usize..3, 0i64..5), 0..20);
+    let edge_prop_flags = proptest::collection::vec(any::<bool>(), 25);
+    (edges, node_props, edge_prop_flags).prop_map(|(edges, node_props, flags)| {
+        let labels = ["follows", "knows", "likes"];
+        let keys = ["age", "since", "name"];
+        let mut g = PropertyGraph::new();
+        let mut edge_ids = Vec::new();
+        for (src, label, dst) in edges {
+            edge_ids.push(g.add_edge(src, labels[label], dst));
+        }
+        for (eid, flag) in edge_ids.iter().zip(flags) {
+            if flag {
+                g.add_edge_prop(*eid, "since", 2007).expect("edge exists");
+            }
+        }
+        for (v, key, val) in node_props {
+            g.add_vertex(v);
+            g.add_vertex_prop(v, keys[key], val).expect("vertex exists");
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn table2_formulas_hold_for_random_graphs(graph in arb_graph()) {
+        assert_table2(&graph);
+    }
+
+    #[test]
+    fn ng_is_always_smallest_sp_middle_rf_largest(graph in arb_graph()) {
+        let vocab = PgVocab::default();
+        let count = |model| convert(&graph, model, &vocab).len();
+        let (rf, ng, sp) = (count(PgRdfModel::RF), count(PgRdfModel::NG), count(PgRdfModel::SP));
+        prop_assert!(ng <= sp, "NG={ng} SP={sp}");
+        prop_assert!(sp <= rf, "SP={sp} RF={rf}");
+        let e = graph.edge_count();
+        prop_assert_eq!(sp - ng, 2 * e);
+        prop_assert_eq!(rf - sp, e);
+    }
+}

@@ -1,0 +1,193 @@
+//! End-to-end integration: generate a Twitter-style property graph, store
+//! it as RDF under all three models, and check that SPARQL answers agree
+//! with ground truth computed directly on the property graph.
+
+use pgrdf::PgRdfModel;
+use pgrdf_bench::{Eq, Fixture};
+use propertygraph::Traversal;
+
+fn fixture() -> Fixture {
+    Fixture::with_seed(0.002, 99)
+}
+
+#[test]
+fn eq12_matches_direct_triangle_count() {
+    let f = fixture();
+    let expected = propertygraph::count_triangles(&f.graph, "follows");
+    for model in [PgRdfModel::NG, PgRdfModel::SP, PgRdfModel::RF] {
+        let (_, rows) = f.run(Eq::Eq12, model);
+        assert_eq!(rows as u64, expected, "{model} triangle count");
+    }
+}
+
+#[test]
+fn eq11_matches_procedural_path_counts() {
+    let f = fixture();
+    for hops in 1..=3 {
+        let expected = Traversal::start(&f.graph, f.start_node)
+            .out_hops(Some("follows"), hops)
+            .path_count();
+        let (_, rows) = f.run(Eq::Eq11(hops), PgRdfModel::NG);
+        assert_eq!(rows as u64, expected, "{hops}-hop path count");
+    }
+}
+
+#[test]
+fn eq9_eq10_match_degree_distributions() {
+    // EQ9/EQ10 group by in/out-degree over knows|follows; the result row
+    // count equals the number of distinct degrees of nodes with at least
+    // one incident edge.
+    let f = fixture();
+    let mut in_degrees = std::collections::HashSet::new();
+    let mut out_degrees = std::collections::HashSet::new();
+    for (_, v) in f.graph.vertices() {
+        if !v.in_edges.is_empty() {
+            in_degrees.insert(v.in_edges.len());
+        }
+        if !v.out_edges.is_empty() {
+            out_degrees.insert(v.out_edges.len());
+        }
+    }
+    let (_, eq9_rows) = f.run(Eq::Eq9, PgRdfModel::NG);
+    let (_, eq10_rows) = f.run(Eq::Eq10, PgRdfModel::NG);
+    assert_eq!(eq9_rows, in_degrees.len(), "EQ9 distinct in-degrees");
+    assert_eq!(eq10_rows, out_degrees.len(), "EQ10 distinct out-degrees");
+}
+
+#[test]
+fn eq1_matches_direct_tag_scan() {
+    let f = fixture();
+    let expected = f
+        .graph
+        .vertices_with_prop("hasTag", &propertygraph::PropValue::from(f.tag.as_str()))
+        .count();
+    for model in [PgRdfModel::NG, PgRdfModel::SP] {
+        let (_, rows) = f.run(Eq::Eq1, model);
+        assert_eq!(rows, expected, "{model} EQ1");
+    }
+}
+
+#[test]
+fn eq5_matches_direct_edge_tag_scan() {
+    let f = fixture();
+    let tag = propertygraph::PropValue::from(f.tag.as_str());
+    let expected = f
+        .graph
+        .edges()
+        .filter(|(_, e)| {
+            e.label == "follows" && e.props.get("hasTag").is_some_and(|vs| vs.contains(&tag))
+        })
+        .count();
+    for model in [PgRdfModel::NG, PgRdfModel::SP, PgRdfModel::RF] {
+        let (_, rows) = f.run(Eq::Eq5, model);
+        assert_eq!(rows, expected, "{model} EQ5");
+    }
+}
+
+#[test]
+fn eq8_returns_all_kvs_of_tagged_edges() {
+    let f = fixture();
+    let tag = propertygraph::PropValue::from(f.tag.as_str());
+    let expected: usize = f
+        .graph
+        .edges()
+        .filter(|(_, e)| {
+            e.label == "follows" && e.props.get("hasTag").is_some_and(|vs| vs.contains(&tag))
+        })
+        .map(|(_, e)| e.props.values().map(Vec::len).sum::<usize>())
+        .sum();
+    for model in [PgRdfModel::NG, PgRdfModel::SP, PgRdfModel::RF] {
+        let (_, rows) = f.run(Eq::Eq8, model);
+        assert_eq!(rows, expected, "{model} EQ8");
+    }
+}
+
+#[test]
+fn all_models_agree_on_every_experiment_query() {
+    let f = fixture();
+    for eq in [
+        Eq::Eq1,
+        Eq::Eq2,
+        Eq::Eq3,
+        Eq::Eq4,
+        Eq::Eq5,
+        Eq::Eq6,
+        Eq::Eq7,
+        Eq::Eq8,
+        Eq::Eq9,
+        Eq::Eq10,
+        Eq::Eq11(1),
+        Eq::Eq11(2),
+        Eq::Eq12,
+    ] {
+        let (_, ng) = f.run(eq, PgRdfModel::NG);
+        let (_, sp) = f.run(eq, PgRdfModel::SP);
+        let (_, rf) = f.run(eq, PgRdfModel::RF);
+        assert_eq!(ng, sp, "{}: NG vs SP", eq.label(PgRdfModel::NG));
+        assert_eq!(ng, rf, "{}: NG vs RF", eq.label(PgRdfModel::NG));
+    }
+}
+
+#[test]
+fn stats_reflect_model_structure() {
+    let f = fixture();
+    let ng = f.ng.stats();
+    let sp = f.sp.stats();
+    let e = f.graph.edge_count();
+    // SP stores exactly 2 extra triples per edge (Table 7).
+    assert_eq!(sp.quads, ng.quads + 2 * e);
+    // NG has one named graph per edge; SP none (Table 8).
+    assert_eq!(ng.distinct_named_graphs, e);
+    assert_eq!(sp.distinct_named_graphs, 0);
+    // SP's predicates include every edge IRI (Table 8).
+    assert!(sp.distinct_predicates > e);
+    assert!(ng.distinct_predicates < 10);
+}
+
+#[test]
+fn storage_report_shape_matches_table9() {
+    let f = fixture();
+    let ng = f.ng.storage_report();
+    let sp = f.sp.storage_report();
+    // SP stores more quads; totals stay comparable (within 2x).
+    let ratio = sp.total_bytes() as f64 / ng.total_bytes() as f64;
+    assert!(
+        (0.8..2.0).contains(&ratio),
+        "SP/NG storage ratio {ratio} out of range"
+    );
+}
+
+#[test]
+fn concurrent_readers_share_the_store() {
+    // The store is immutable during queries, so many threads can run the
+    // experiment battery against the same fixture simultaneously — the
+    // multi-user story of an RDBMS-backed RDF store.
+    let f = fixture();
+    let baseline: Vec<usize> = [Eq::Eq1, Eq::Eq2, Eq::Eq5, Eq::Eq12]
+        .iter()
+        .map(|&eq| f.run(eq, PgRdfModel::NG).1)
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let f = &f;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for (i, &eq) in [Eq::Eq1, Eq::Eq2, Eq::Eq5, Eq::Eq12].iter().enumerate() {
+                    let (_, rows) = f.run(eq, PgRdfModel::NG);
+                    assert_eq!(rows, baseline[i], "{}", eq.label(PgRdfModel::NG));
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn json_results_for_experiment_queries() {
+    let f = fixture();
+    let text = f.query_text(Eq::Eq1, PgRdfModel::NG);
+    let dataset = f.dataset_for(Eq::Eq1, PgRdfModel::NG);
+    let results = sparql::query(f.ng.store(), &dataset, &text).unwrap();
+    let json = sparql::json::to_json(&results);
+    assert!(json.starts_with("{\"head\":{\"vars\":[\"n\"]}"));
+    assert!(json.contains("\"type\":\"uri\""));
+}
