@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale 0.02] [--seed 7739251] [table2|table5|table6|table7|table8|table9|
-//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|all]
+//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|durability|all]
 //! ```
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
@@ -43,7 +43,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|all]"
+                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|durability|all]"
                 );
                 std::process::exit(0);
             }
@@ -75,7 +75,7 @@ fn main() {
     // Everything below needs the generated dataset.
     let needs_fixture = [
         "table5", "table6", "table7", "table8", "table9", "fig4", "fig5", "fig6", "fig7",
-        "fig8", "fig9", "rf", "mono",
+        "fig8", "fig9", "rf", "mono", "durability",
     ]
     .iter()
     .any(|s| want(s));
@@ -159,6 +159,66 @@ fn main() {
     }
     if want("mono") {
         monolithic_scan_ablation(&fixture);
+    }
+    // Opt-in (not part of `all`): fsync-heavy, so only on explicit ask.
+    if args.sections.iter().any(|s| s == "durability") {
+        durability(&fixture);
+    }
+}
+
+/// Crash-safe persistence cost on the generated dataset: WAL-per-op
+/// fsync, group commit, and one-record bulk load + checkpoint, each
+/// verified by a full recovery (`DurableStore::open`). Opt-in: not part
+/// of `all` runs of the paper tables, run `repro durability`.
+fn durability(fixture: &Fixture) {
+    use quadstore::{DurableStore, RealFs, SyncPolicy};
+    use std::sync::Arc;
+
+    println!("\n--- Durability: WAL + snapshot cost (opt-in section) ---");
+    let quads = fixture.ng.quads();
+    let per_op = quads.len().min(500);
+    println!(
+        "{:<26} {:>10} {:>12} {:>14}",
+        "mode", "quads", "write time", "recovery time"
+    );
+    let modes: [(&str, SyncPolicy, bool); 3] = [
+        ("fsync-per-op", SyncPolicy::Always, false),
+        ("group-commit(64)", SyncPolicy::EveryN(64), false),
+        ("bulk+checkpoint", SyncPolicy::Manual, true),
+    ];
+    for (label, policy, bulk) in modes {
+        let dir = std::env::temp_dir()
+            .join(format!("repro_durability_{}_{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ds = DurableStore::open_with(&dir, Arc::new(RealFs), policy)
+            .expect("open durable store");
+        ds.create_model("bench").expect("model");
+        let t0 = Instant::now();
+        let n = if bulk {
+            let n = ds.bulk_load("bench", &quads).expect("bulk load");
+            ds.checkpoint().expect("checkpoint");
+            n
+        } else {
+            for quad in quads.iter().take(per_op) {
+                ds.insert("bench", quad).expect("insert");
+            }
+            ds.sync().expect("sync");
+            per_op
+        };
+        let write = t0.elapsed();
+        drop(ds);
+        let t1 = Instant::now();
+        let recovered = DurableStore::open(&dir).expect("recovery");
+        let recovery = t1.elapsed();
+        assert_eq!(recovered.store().model("bench").expect("model").len(), n);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        println!(
+            "{:<26} {:>10} {:>12} {:>14}",
+            label,
+            n,
+            fmt_ms(write),
+            fmt_ms(recovery)
+        );
     }
 }
 

@@ -310,8 +310,18 @@ impl PgRdfStore {
             self.vocab.vertex_prefix,
             self.vocab.edge_prefix,
         );
-        std::fs::write(dir.join("pgrdf.meta"), meta)
-            .map_err(|e| CoreError::Store(quadstore::StoreError::Io(e.to_string())))
+        // Atomic metadata write: a crash mid-write must leave either the
+        // previous pgrdf.meta or the new one, never a torn file next to a
+        // committed quadstore snapshot.
+        let io = |e: std::io::Error| CoreError::Store(quadstore::StoreError::Io(e.to_string()));
+        let tmp = dir.join("pgrdf.meta.tmp");
+        std::fs::write(&tmp, meta).map_err(io)?;
+        std::fs::File::open(&tmp).and_then(|f| f.sync_all()).map_err(io)?;
+        std::fs::rename(&tmp, dir.join("pgrdf.meta")).map_err(io)?;
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
     }
 
     /// Loads a store previously written by [`Self::save_to_dir`].
@@ -421,6 +431,28 @@ mod tests {
         let qs = store.queries();
         let sols = store.select_in(&names.topology, &qs.q4_all_edges()).unwrap();
         assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn save_is_atomic_and_resaveable() {
+        let dir = std::env::temp_dir()
+            .join(format!("pgrdf_atomic_meta_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let graph = PropertyGraph::sample_figure1();
+        let store = PgRdfStore::load(&graph, PgRdfModel::NG).unwrap();
+        store.save_to_dir(&dir).unwrap();
+        // Regression: the metadata write must go through a temp file that
+        // does not survive, and saving over an existing store directory
+        // must leave it loadable.
+        assert!(!dir.join("pgrdf.meta.tmp").exists());
+        store.save_to_dir(&dir).unwrap();
+        // A stale temp file from a crashed earlier save must not break
+        // the next save or load.
+        std::fs::write(dir.join("pgrdf.meta.tmp"), "torn garbage").unwrap();
+        store.save_to_dir(&dir).unwrap();
+        let loaded = PgRdfStore::load_from_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(loaded.quads().len(), store.quads().len());
     }
 
     #[test]

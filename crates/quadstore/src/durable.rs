@@ -1,0 +1,334 @@
+//! [`DurableStore`]: a [`Store`] whose mutations survive crashes.
+//!
+//! Every mutating call is written to the current epoch's write-ahead log
+//! *before* it is applied in memory; an operation only returns `Ok` once
+//! its WAL frame is on disk (and, under [`SyncPolicy::Always`], fsynced).
+//! [`DurableStore::checkpoint`] folds the log into a fresh atomic
+//! snapshot (see [`crate::persist`]) and starts an empty WAL.
+//! [`DurableStore::open_with`] recovers from whatever a crash left
+//! behind: newest valid snapshot, plus the WAL tail up to the first
+//! corrupt frame — which it also physically truncates away, so later
+//! appends extend a clean log.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use rdf_model::{nquads, Quad};
+
+use crate::error::StoreError;
+use crate::faults::{retry_interrupted, RealFs, Vfs};
+use crate::index::IndexKind;
+use crate::persist::{recover_with, save_snapshot, wal_path, MANIFEST};
+use crate::store::Store;
+use crate::wal::WalRecord;
+
+/// When WAL appends are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every logged operation: an `Ok` return means the
+    /// operation survives any crash. The default.
+    Always,
+    /// fsync after every `n` logged operations (group commit): up to
+    /// `n - 1` acknowledged operations may be lost to a crash.
+    EveryN(usize),
+    /// fsync only on [`DurableStore::sync`] and
+    /// [`DurableStore::checkpoint`].
+    Manual,
+}
+
+/// A crash-safe store: in-memory [`Store`] + on-disk WAL + snapshots.
+#[derive(Debug)]
+pub struct DurableStore {
+    store: Store,
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    epoch: u64,
+    policy: SyncPolicy,
+    /// Logged operations not yet covered by an fsync.
+    unsynced: usize,
+}
+
+impl DurableStore {
+    /// Opens (or creates) a durable store at `dir` with the production
+    /// filesystem and [`SyncPolicy::Always`].
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DurableStore, StoreError> {
+        DurableStore::open_with(dir, Arc::new(RealFs), SyncPolicy::Always)
+    }
+
+    /// Opens (or creates) a durable store over an explicit [`Vfs`] and
+    /// sync policy. Runs full crash recovery: loads the newest valid
+    /// snapshot, replays the WAL tail, and truncates any torn suffix.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+        policy: SyncPolicy,
+    ) -> Result<DurableStore, StoreError> {
+        let dir = dir.into();
+        if !vfs.exists(&dir.join(MANIFEST)) {
+            // Fresh store: commit an empty epoch-1 snapshot so there is
+            // always a recovery point.
+            let epoch = save_snapshot(&Store::new(), &dir, vfs.as_ref())?;
+            return Ok(DurableStore { store: Store::new(), vfs, dir, epoch, policy, unsynced: 0 });
+        }
+        let recovered = recover_with(vfs.as_ref(), &dir)?;
+        if recovered.wal_truncated.is_some() {
+            let wal = wal_path(&dir, recovered.epoch);
+            retry_interrupted(|| vfs.truncate(&wal, recovered.wal_valid_len))
+                .map_err(io_err)?;
+            retry_interrupted(|| vfs.sync_file(&wal)).map_err(io_err)?;
+        }
+        Ok(DurableStore {
+            store: recovered.store,
+            vfs,
+            dir,
+            epoch: recovered.epoch,
+            policy,
+            unsynced: 0,
+        })
+    }
+
+    /// The underlying in-memory store (read-only: all mutation must go
+    /// through the logged methods).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn log(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        let wal = wal_path(&self.dir, self.epoch);
+        let frame = record.to_frame();
+        retry_interrupted(|| self.vfs.append(&wal, &frame)).map_err(io_err)?;
+        self.unsynced += 1;
+        let flush = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            SyncPolicy::Manual => false,
+        };
+        if flush {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes all logged-but-unsynced operations to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.unsynced > 0 {
+            let wal = wal_path(&self.dir, self.epoch);
+            retry_interrupted(|| self.vfs.sync_file(&wal)).map_err(io_err)?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Writes a fresh atomic snapshot and rotates to an empty WAL. After
+    /// this returns, recovery no longer needs the old epoch's log.
+    pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
+        self.sync()?;
+        self.epoch = save_snapshot(&self.store, &self.dir, self.vfs.as_ref())?;
+        self.unsynced = 0;
+        Ok(self.epoch)
+    }
+
+    // --- logged DML ----------------------------------------------------
+
+    /// Logged [`Store::insert`].
+    pub fn insert(&mut self, model: &str, quad: &Quad) -> Result<bool, StoreError> {
+        if self.store.model(model).is_none() {
+            return Err(StoreError::UnknownModel(model.to_string()));
+        }
+        self.log(&WalRecord::Insert { model: model.to_string(), quad: quad.clone() })?;
+        self.store.insert(model, quad)
+    }
+
+    /// Logged [`Store::remove`].
+    pub fn remove(&mut self, model: &str, quad: &Quad) -> Result<bool, StoreError> {
+        if self.store.model(model).is_none() {
+            return Err(StoreError::UnknownModel(model.to_string()));
+        }
+        self.log(&WalRecord::Remove { model: model.to_string(), quad: quad.clone() })?;
+        self.store.remove(model, quad)
+    }
+
+    /// Logged [`Store::bulk_load`]: the whole batch travels as one WAL
+    /// record, so a crash either keeps all of it or none of it.
+    pub fn bulk_load(&mut self, model: &str, quads: &[Quad]) -> Result<usize, StoreError> {
+        if self.store.model(model).is_none() {
+            return Err(StoreError::UnknownModel(model.to_string()));
+        }
+        self.log(&WalRecord::BulkLoad {
+            model: model.to_string(),
+            nquads: nquads::serialize(quads),
+        })?;
+        self.store.bulk_load(model, quads)
+    }
+
+    // --- logged DDL ----------------------------------------------------
+    //
+    // DDL validates and applies in memory first (catching duplicate
+    // names, unknown members, …), then logs. A crash between the two
+    // loses only the in-memory effect of an operation that was never
+    // acknowledged — exactly the contract.
+
+    /// Logged [`Store::create_model`].
+    pub fn create_model(&mut self, name: &str) -> Result<(), StoreError> {
+        self.store.create_model(name)?;
+        let indexes = self.store.model(name).expect("just created").index_kinds().to_vec();
+        self.log(&WalRecord::CreateModel { model: name.to_string(), indexes })
+    }
+
+    /// Logged [`Store::create_model_with_indexes`].
+    pub fn create_model_with_indexes(
+        &mut self,
+        name: &str,
+        kinds: &[IndexKind],
+    ) -> Result<(), StoreError> {
+        self.store.create_model_with_indexes(name, kinds)?;
+        self.log(&WalRecord::CreateModel { model: name.to_string(), indexes: kinds.to_vec() })
+    }
+
+    /// Logged [`Store::drop_model`].
+    pub fn drop_model(&mut self, name: &str) -> Result<(), StoreError> {
+        self.store.drop_model(name)?;
+        self.log(&WalRecord::DropModel { model: name.to_string() })
+    }
+
+    /// Logged [`Store::create_virtual_model`].
+    pub fn create_virtual_model(
+        &mut self,
+        name: &str,
+        members: &[&str],
+    ) -> Result<(), StoreError> {
+        self.store.create_virtual_model(name, members)?;
+        self.log(&WalRecord::CreateVirtualModel {
+            model: name.to_string(),
+            members: members.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Logged [`Store::create_index`].
+    pub fn create_index(&mut self, model: &str, kind: IndexKind) -> Result<(), StoreError> {
+        self.store.create_index(model, kind)?;
+        self.log(&WalRecord::CreateIndex { model: model.to_string(), kind })
+    }
+
+    /// Logged [`Store::drop_index`].
+    pub fn drop_index(&mut self, model: &str, kind: IndexKind) -> Result<(), StoreError> {
+        self.store.drop_index(model, kind)?;
+        self.log(&WalRecord::DropIndex { model: model.to_string(), kind })
+    }
+}
+
+fn io_err(e: std::io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::QuadPattern;
+
+    use rdf_model::Term;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qs_durable_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn q(s: u32, o: u32) -> Quad {
+        Quad::triple(
+            Term::iri(format!("http://s{s}")),
+            Term::iri("http://p"),
+            Term::iri(format!("http://o{o}")),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reopen_replays_the_wal() {
+        let dir = tmp("reopen");
+        {
+            let mut ds = DurableStore::open(&dir).unwrap();
+            ds.create_model("m").unwrap();
+            ds.insert("m", &q(1, 1)).unwrap();
+            ds.insert("m", &q(2, 2)).unwrap();
+            ds.remove("m", &q(1, 1)).unwrap();
+            // Dropped on the floor without a checkpoint or clean close —
+            // the WAL alone must carry it.
+        }
+        let ds = DurableStore::open(&dir).unwrap();
+        assert_eq!(ds.store().model("m").unwrap().len(), 1);
+        let quads: Vec<Quad> = ds
+            .store()
+            .dataset("m")
+            .unwrap()
+            .scan_decoded(QuadPattern::any())
+            .collect();
+        assert_eq!(quads, vec![q(2, 2)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotates_the_wal() {
+        let dir = tmp("checkpoint");
+        let mut ds = DurableStore::open(&dir).unwrap();
+        ds.create_model("m").unwrap();
+        ds.bulk_load("m", &[q(1, 1), q(2, 2)]).unwrap();
+        let before = ds.epoch();
+        let after = ds.checkpoint().unwrap();
+        assert_eq!(after, before + 1);
+        assert_eq!(std::fs::read(wal_path(&dir, after)).unwrap(), b"");
+        ds.insert("m", &q(3, 3)).unwrap();
+        drop(ds);
+        let ds = DurableStore::open(&dir).unwrap();
+        assert_eq!(ds.store().model("m").unwrap().len(), 3);
+        assert_eq!(ds.epoch(), after);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ddl_survives_reopen() {
+        let dir = tmp("ddl");
+        {
+            let mut ds = DurableStore::open(&dir).unwrap();
+            ds.create_model_with_indexes("a", &[IndexKind::PCSGM]).unwrap();
+            ds.create_model("b").unwrap();
+            ds.create_virtual_model("v", &["a", "b"]).unwrap();
+            ds.create_index("a", IndexKind::GPSCM).unwrap();
+            ds.drop_model("b").unwrap(); // also drops v
+        }
+        let ds = DurableStore::open(&dir).unwrap();
+        assert!(ds.store().model("b").is_none());
+        assert!(ds.store().virtual_model("v").is_none());
+        assert_eq!(
+            ds.store().model("a").unwrap().index_kinds(),
+            &[IndexKind::PCSGM, IndexKind::GPSCM]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_defers_fsync() {
+        let dir = tmp("group");
+        let mut ds = DurableStore::open_with(&dir, Arc::new(RealFs), SyncPolicy::EveryN(8))
+            .unwrap();
+        ds.create_model("m").unwrap();
+        for i in 0..20 {
+            ds.insert("m", &q(i, i)).unwrap();
+        }
+        ds.sync().unwrap();
+        drop(ds);
+        let ds = DurableStore::open(&dir).unwrap();
+        assert_eq!(ds.store().model("m").unwrap().len(), 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -23,6 +23,9 @@ pub enum StoreError {
     Io(String),
     /// A corrupt or unreadable store manifest.
     Manifest(String),
+    /// On-disk data failed a checksum or structural validity check
+    /// (snapshot file, WAL frame) — the bytes are present but wrong.
+    Corrupt(String),
 }
 
 impl fmt::Display for StoreError {
@@ -40,6 +43,7 @@ impl fmt::Display for StoreError {
             StoreError::Model(e) => write!(f, "{e}"),
             StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
             StoreError::Manifest(msg) => write!(f, "manifest error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store data: {msg}"),
         }
     }
 }

@@ -14,23 +14,34 @@
 //!   DML through a delta overlay.
 //! * **Statistics** for planner selectivity and the Table 8/9 reports
 //!   ([`ModelStats`], [`StorageReport`]).
+//! * **Crash-safe durability** — a CRC-checksummed write-ahead log plus
+//!   atomic snapshots ([`DurableStore`], [`wal`], [`persist`]), with a
+//!   deterministic fault-injection layer ([`faults`]) for crash-matrix
+//!   testing.
 
 #![warn(missing_docs)]
 
 pub mod bulk;
 pub mod dataset;
+pub mod durable;
 pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod index;
 pub mod model;
 pub mod persist;
 pub mod stats;
 pub mod store;
+pub mod wal;
 
 pub use dataset::DatasetView;
+pub use durable::{DurableStore, SyncPolicy};
 pub use error::StoreError;
+pub use faults::{FaultPlan, FaultyVfs, RealFs, Vfs};
 pub use ids::{EncodedQuad, GraphConstraint, QuadPattern};
 pub use index::{Component, IndexKind, SortedIndex};
 pub use model::{AccessPath, SemanticModel};
+pub use persist::{recover_from_dir, Recovered};
 pub use stats::{ModelStats, StorageReport, StorageRow};
 pub use store::Store;
+pub use wal::{crc32, scan_wal, WalRecord, WalScan};

@@ -162,17 +162,16 @@ impl SemanticModel {
         // of quads with 4+ indexes, harmless for small models.
         let kinds = &self.index_kinds;
         let quads = &all;
-        self.indexes = crossbeam::thread::scope(|scope| {
+        self.indexes = std::thread::scope(|scope| {
             let handles: Vec<_> = kinds
                 .iter()
-                .map(|&k| scope.spawn(move |_| SortedIndex::build(k, quads)))
+                .map(|&k| scope.spawn(move || SortedIndex::build(k, quads)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("index build thread panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("index build scope panicked");
+        });
     }
 
     /// All quads currently visible, in unspecified order.

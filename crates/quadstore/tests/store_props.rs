@@ -1,89 +1,121 @@
-//! Property-based tests of the quad store: every index permutation must
+//! Property-style tests of the quad store: every index permutation must
 //! answer every pattern identically to a naive filter, and the DML delta
-//! overlay must behave like a set.
+//! overlay must behave like a set. Cases are generated deterministically
+//! from seeded pseudo-random streams (std-only, no crates.io access).
 
-use proptest::prelude::*;
 use quadstore::{GraphConstraint, IndexKind, QuadPattern, SortedIndex, Store};
 use rdf_model::{GraphName, Quad, Term, TermId};
 
-fn arb_quads() -> impl Strategy<Value = Vec<[u64; 4]>> {
-    proptest::collection::vec((1u64..8, 1u64..5, 1u64..10, 0u64..4), 0..60)
-        .prop_map(|v| v.into_iter().map(|(s, p, o, g)| [s, p, o, g]).collect())
+/// SplitMix64 case generator.
+struct Rnd(u64);
+
+impl Rnd {
+    fn new(seed: u64) -> Rnd {
+        Rnd(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
 }
 
-fn arb_pattern() -> impl Strategy<Value = QuadPattern> {
-    (
-        proptest::option::of(1u64..8),
-        proptest::option::of(1u64..5),
-        proptest::option::of(1u64..10),
-        0u8..4,
+fn rand_quads(r: &mut Rnd) -> Vec<[u64; 4]> {
+    let n = r.range(0, 60) as usize;
+    (0..n)
+        .map(|_| [r.range(1, 8), r.range(1, 5), r.range(1, 10), r.range(0, 4)])
+        .collect()
+}
+
+fn rand_pattern(r: &mut Rnd) -> QuadPattern {
+    let opt = |r: &mut Rnd, lo: u64, hi: u64| {
+        if r.next() & 1 == 0 { None } else { Some(TermId(r.range(lo, hi))) }
+    };
+    QuadPattern {
+        s: opt(r, 1, 8),
+        p: opt(r, 1, 5),
+        o: opt(r, 1, 10),
+        g: match r.range(0, 4) {
+            0 => GraphConstraint::DefaultOnly,
+            1 => GraphConstraint::Named(TermId(1)),
+            2 => GraphConstraint::AnyNamed,
+            _ => GraphConstraint::Any,
+        },
+    }
+}
+
+fn decode(q: &[u64; 4]) -> Quad {
+    Quad::new(
+        Term::iri(format!("http://s{}", q[0])),
+        Term::iri(format!("http://p{}", q[1])),
+        Term::iri(format!("http://o{}", q[2])),
+        if q[3] == 0 {
+            GraphName::Default
+        } else {
+            GraphName::iri(format!("http://g{}", q[3]))
+        },
     )
-        .prop_map(|(s, p, o, g)| QuadPattern {
-            s: s.map(TermId),
-            p: p.map(TermId),
-            o: o.map(TermId),
-            g: match g {
-                0 => GraphConstraint::DefaultOnly,
-                1 => GraphConstraint::Named(TermId(1)),
-                2 => GraphConstraint::AnyNamed,
-                _ => GraphConstraint::Any,
-            },
-        })
+    .expect("valid quad")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn every_index_answers_like_a_naive_filter(
-        quads in arb_quads(),
-        pattern in arb_pattern(),
-    ) {
+#[test]
+fn every_index_answers_like_a_naive_filter() {
+    for case in 0..128u64 {
+        let mut r = Rnd::new(case);
+        let quads = rand_quads(&mut r);
+        let pattern = rand_pattern(&mut r);
         let mut dedup = quads.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        let expected: Vec<[u64; 4]> = dedup
-            .iter()
-            .copied()
-            .filter(|q| pattern.matches(q))
-            .collect();
+        let expected: Vec<[u64; 4]> =
+            dedup.iter().copied().filter(|q| pattern.matches(q)).collect();
         for kind in IndexKind::STANDARD_SIX {
             let index = SortedIndex::build(kind, &quads);
             let mut got: Vec<[u64; 4]> = index.scan(pattern).collect();
             got.sort_unstable();
             let mut want = expected.clone();
             want.sort_unstable();
-            prop_assert_eq!(got, want, "index {}", kind);
+            assert_eq!(got, want, "case {case}, index {kind}");
         }
     }
+}
 
-    #[test]
-    fn prefix_count_matches_scan_len(quads in arb_quads()) {
+#[test]
+fn prefix_count_matches_scan_len() {
+    for case in 0..128u64 {
+        let mut r = Rnd::new(case);
+        let quads = rand_quads(&mut r);
         let index = SortedIndex::build(IndexKind::PCSGM, &quads);
         for p in 1u64..5 {
             let pattern = QuadPattern {
-                s: None, p: Some(TermId(p)), o: None, g: GraphConstraint::Any,
+                s: None,
+                p: Some(TermId(p)),
+                o: None,
+                g: GraphConstraint::Any,
             };
             let prefix = index.prefix_for(&pattern);
-            prop_assert_eq!(index.prefix_count(&prefix), index.scan(pattern).count());
+            assert_eq!(index.prefix_count(&prefix), index.scan(pattern).count(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn delta_overlay_behaves_like_a_set(
-        base in arb_quads(),
-        ops in proptest::collection::vec((any::<bool>(), 1u64..8, 1u64..5, 1u64..10), 0..30),
-    ) {
+#[test]
+fn delta_overlay_behaves_like_a_set() {
+    for case in 0..128u64 {
+        let mut r = Rnd::new(case);
+        let base = rand_quads(&mut r);
+        let n_ops = r.range(0, 30) as usize;
+        let ops: Vec<(bool, u64, u64, u64)> = (0..n_ops)
+            .map(|_| (r.next() & 1 == 0, r.range(1, 8), r.range(1, 5), r.range(1, 10)))
+            .collect();
+
         let mut store = Store::new();
         store.create_model("m").expect("model");
-        let decode = |q: &[u64; 4]| {
-            Quad::new(
-                Term::iri(format!("http://s{}", q[0])),
-                Term::iri(format!("http://p{}", q[1])),
-                Term::iri(format!("http://o{}", q[2])),
-                if q[3] == 0 { GraphName::Default } else { GraphName::iri(format!("http://g{}", q[3])) },
-            ).expect("valid quad")
-        };
         let base_quads: Vec<Quad> = base.iter().map(decode).collect();
         store.bulk_load("m", &base_quads).expect("load");
 
@@ -92,16 +124,16 @@ proptest! {
             let quad = decode(&[s, p, o, 0]);
             if insert {
                 let newly = store.insert("m", &quad).expect("insert");
-                prop_assert_eq!(newly, reference.insert(quad));
+                assert_eq!(newly, reference.insert(quad), "case {case}");
             } else {
                 let removed = store.remove("m", &quad).expect("remove");
-                prop_assert_eq!(removed, reference.remove(&quad));
+                assert_eq!(removed, reference.remove(&quad), "case {case}");
             }
         }
-        prop_assert_eq!(store.model("m").expect("m").len(), reference.len());
+        assert_eq!(store.model("m").expect("m").len(), reference.len());
         // Compaction changes nothing observable.
         store.compact("m").expect("compact");
-        prop_assert_eq!(store.model("m").expect("m").len(), reference.len());
+        assert_eq!(store.model("m").expect("m").len(), reference.len());
         let mut all: Vec<Quad> = store
             .dataset("m")
             .expect("view")
@@ -109,27 +141,19 @@ proptest! {
             .collect();
         all.sort();
         let want: Vec<Quad> = reference.into_iter().collect();
-        prop_assert_eq!(all, want);
+        assert_eq!(all, want, "case {case}");
     }
+}
 
-    #[test]
-    fn estimate_is_an_upper_bound_on_matches(
-        quads in arb_quads(),
-        pattern in arb_pattern(),
-    ) {
+#[test]
+fn estimate_is_an_upper_bound_on_matches() {
+    for case in 0..128u64 {
+        let mut r = Rnd::new(case);
+        let quads = rand_quads(&mut r);
+        let pattern = rand_pattern(&mut r);
         let mut store = Store::new();
         store.create_model("m").expect("model");
-        let base_quads: Vec<Quad> = quads
-            .iter()
-            .map(|q| {
-                Quad::new(
-                    Term::iri(format!("http://s{}", q[0])),
-                    Term::iri(format!("http://p{}", q[1])),
-                    Term::iri(format!("http://o{}", q[2])),
-                    if q[3] == 0 { GraphName::Default } else { GraphName::iri(format!("http://g{}", q[3])) },
-                ).expect("valid")
-            })
-            .collect();
+        let base_quads: Vec<Quad> = quads.iter().map(decode).collect();
         store.bulk_load("m", &base_quads).expect("load");
         // The encoded ids in `pattern` refer to this test's id space, not
         // the store's; remap via a pattern of the store's own terms
@@ -137,9 +161,10 @@ proptest! {
         if let Some(p) = pattern.p {
             let term = Term::iri(format!("http://p{}", p.0));
             if let Some(pid) = store.term_id(&term) {
-                let probe = QuadPattern { s: None, p: Some(pid), o: None, g: GraphConstraint::Any };
+                let probe =
+                    QuadPattern { s: None, p: Some(pid), o: None, g: GraphConstraint::Any };
                 let view = store.dataset("m").expect("view");
-                prop_assert!(view.estimate(&probe) >= view.scan(probe).count());
+                assert!(view.estimate(&probe) >= view.scan(probe).count(), "case {case}");
             }
         }
     }

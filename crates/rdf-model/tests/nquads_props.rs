@@ -1,111 +1,136 @@
-//! Property-based tests: N-Quads serialization must round-trip arbitrary
+//! Property-style tests: N-Quads serialization must round-trip arbitrary
 //! terms (including escapes and unicode), and literal canonicalisation
-//! must be idempotent.
+//! must be idempotent. Cases are generated deterministically from seeded
+//! pseudo-random streams (std-only; the build has no crates.io access).
 
-use proptest::prelude::*;
 use rdf_model::{nquads, GraphName, Iri, Literal, Quad, Term};
 
-fn arb_iri() -> impl Strategy<Value = Iri> {
-    "[a-z][a-z0-9/._-]{0,20}".prop_map(|tail| Iri::new(format!("http://x/{tail}")))
-}
+/// SplitMix64 case generator.
+struct Rnd(u64);
 
-fn arb_literal() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        // Arbitrary content strings: quotes, newlines, unicode...
-        any::<String>().prop_map(Literal::string),
-        any::<i32>().prop_map(Literal::int),
-        any::<i64>().prop_map(Literal::integer),
-        any::<bool>().prop_map(Literal::boolean),
-        ("[a-z]{1,8}", "[a-z]{2}(-[a-z]{2})?")
-            .prop_map(|(v, tag)| Literal::lang_string(v, tag)),
-        (any::<String>(), arb_iri()).prop_map(|(v, dt)| Literal::typed(v, dt)),
-    ]
-}
-
-fn arb_term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        arb_iri().prop_map(Term::Iri),
-        "[A-Za-z][A-Za-z0-9_]{0,8}".prop_map(Term::blank),
-        arb_literal().prop_map(Term::Literal),
-    ]
-}
-
-fn arb_quad() -> impl Strategy<Value = Quad> {
-    (
-        prop_oneof![
-            arb_iri().prop_map(Term::Iri),
-            "[A-Za-z][A-Za-z0-9_]{0,8}".prop_map(Term::blank)
-        ],
-        arb_iri(),
-        arb_term(),
-        proptest::option::of(arb_iri()),
-    )
-        .prop_map(|(s, p, o, g)| {
-            Quad::new(
-                s,
-                Term::Iri(p),
-                o,
-                g.map(GraphName::from).unwrap_or(GraphName::Default),
-            )
-            .expect("positions are valid by construction")
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn serialize_parse_roundtrip(quads in proptest::collection::vec(arb_quad(), 0..20)) {
-        // Parsing canonicalises nothing; but the dictionary does, so we
-        // compare the parsed quads against the canonical forms of the
-        // originals' literals... actually N-Quads I/O must preserve terms
-        // exactly as written.
-        let filtered: Vec<Quad> = quads
-            .into_iter()
-            .filter(|q| {
-                // Lexical forms containing lone control chars we do not
-                // escape (e.g. \0) are out of scope for the writer.
-                fn ok(t: &Term) -> bool {
-                    match t {
-                        Term::Literal(lit) => lit
-                            .lexical()
-                            .chars()
-                            .all(|c| c == '\n' || c == '\r' || c == '\t' || !c.is_control()),
-                        _ => true,
-                    }
-                }
-                ok(&q.object)
-            })
-            .collect();
-        let text = nquads::serialize(&filtered);
-        let parsed = nquads::parse(&text).expect("own output parses");
-        prop_assert_eq!(parsed, filtered);
+impl Rnd {
+    fn new(seed: u64) -> Rnd {
+        Rnd(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
     }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
 
-    #[test]
-    fn escape_unescape_roundtrip(s in any::<String>()) {
-        if s.chars().all(|c| c == '\n' || c == '\r' || c == '\t' || !c.is_control()) {
-            prop_assert_eq!(nquads::unescape(&nquads::escape(&s)).expect("unescape"), s);
+/// Characters the writer supports: everything except lone control chars
+/// (we do escape \n, \r, \t). Includes quotes, backslash, and unicode.
+const CHARS: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '"', '\\', '\n', '\r', '\t', '<', '>', '{', '}', '|',
+    '^', '`', 'é', 'ß', '中', '文', '🦀', '∀', '‖', '\u{200b}',
+];
+
+fn rand_string(r: &mut Rnd) -> String {
+    let len = r.below(12) as usize;
+    (0..len).map(|_| CHARS[r.below(CHARS.len() as u64) as usize]).collect()
+}
+
+fn rand_ascii(r: &mut Rnd, alphabet: &str, max_len: u64) -> String {
+    let bytes = alphabet.as_bytes();
+    let len = r.below(max_len) as usize;
+    (0..len).map(|_| bytes[r.below(bytes.len() as u64) as usize] as char).collect()
+}
+
+fn rand_iri(r: &mut Rnd) -> Iri {
+    let tail = rand_ascii(r, "abcdefghij0123456789/._-", 20);
+    Iri::new(format!("http://x/a{tail}"))
+}
+
+fn rand_literal(r: &mut Rnd) -> Literal {
+    match r.below(6) {
+        0 => Literal::string(rand_string(r)),
+        1 => Literal::int(r.next() as i32),
+        2 => Literal::integer(r.next() as i64),
+        3 => Literal::boolean(r.next() & 1 == 0),
+        4 => {
+            let value = format!("w{}", rand_ascii(r, "abcdefgh", 7));
+            let tag = if r.next() & 1 == 0 { "en" } else { "de-at" };
+            Literal::lang_string(value, tag)
         }
+        _ => Literal::typed(rand_string(r), rand_iri(r)),
     }
+}
 
-    #[test]
-    fn canonicalisation_is_idempotent(lit in arb_literal()) {
+fn rand_term(r: &mut Rnd) -> Term {
+    match r.below(3) {
+        0 => Term::Iri(rand_iri(r)),
+        1 => Term::blank(format!("b{}", rand_ascii(r, "ABCxyz_019", 8))),
+        _ => Term::Literal(rand_literal(r)),
+    }
+}
+
+fn rand_quad(r: &mut Rnd) -> Quad {
+    let subject = if r.next() & 1 == 0 {
+        Term::Iri(rand_iri(r))
+    } else {
+        Term::blank(format!("s{}", rand_ascii(r, "ABCxyz019", 8)))
+    };
+    let graph = if r.next() & 1 == 0 {
+        GraphName::from(rand_iri(r))
+    } else {
+        GraphName::Default
+    };
+    Quad::new(subject, Term::Iri(rand_iri(r)), rand_term(r), graph)
+        .expect("positions are valid by construction")
+}
+
+#[test]
+fn serialize_parse_roundtrip() {
+    for case in 0..256u64 {
+        let mut r = Rnd::new(case);
+        let n = r.below(20) as usize;
+        let quads: Vec<Quad> = (0..n).map(|_| rand_quad(&mut r)).collect();
+        let text = nquads::serialize(&quads);
+        let parsed = nquads::parse(&text).expect("own output parses");
+        assert_eq!(parsed, quads, "case {case}");
+    }
+}
+
+#[test]
+fn escape_unescape_roundtrip() {
+    for case in 0..256u64 {
+        let mut r = Rnd::new(case);
+        let s = rand_string(&mut r);
+        assert_eq!(nquads::unescape(&nquads::escape(&s)).expect("unescape"), s, "case {case}");
+    }
+}
+
+#[test]
+fn canonicalisation_is_idempotent() {
+    for case in 0..256u64 {
+        let mut r = Rnd::new(case);
+        let lit = rand_literal(&mut r);
         let once = lit.canonical().into_owned();
         let twice = once.canonical().into_owned();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
+}
 
-    #[test]
-    fn dictionary_roundtrips_terms(terms in proptest::collection::vec(arb_term(), 0..30)) {
+#[test]
+fn dictionary_roundtrips_terms() {
+    for case in 0..256u64 {
+        let mut r = Rnd::new(case);
+        let n = r.below(30) as usize;
+        let terms: Vec<Term> = (0..n).map(|_| rand_term(&mut r)).collect();
         let mut dict = rdf_model::Dictionary::new();
         for term in &terms {
             let id = dict.intern(term);
             let back = dict.lookup(id).expect("interned");
             // The stored term is the canonical form; interning it again
             // must return the same id.
-            prop_assert_eq!(dict.intern(&back.clone()), id);
-            prop_assert_eq!(dict.get(term), Some(id));
+            assert_eq!(dict.intern(&back.clone()), id);
+            assert_eq!(dict.get(term), Some(id));
         }
     }
 }

@@ -15,6 +15,9 @@ pub enum SparqlError {
     Eval(String),
     /// Error from the underlying quad store.
     Store(quadstore::StoreError),
+    /// Execution exceeded a configured [`crate::ExecLimits`] bound (row
+    /// budget or deadline) and was aborted.
+    ResourceExhausted(String),
 }
 
 impl fmt::Display for SparqlError {
@@ -24,6 +27,9 @@ impl fmt::Display for SparqlError {
             SparqlError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             SparqlError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             SparqlError::Store(e) => write!(f, "store error: {e}"),
+            SparqlError::ResourceExhausted(msg) => {
+                write!(f, "resource limit exhausted: {msg}")
+            }
         }
     }
 }

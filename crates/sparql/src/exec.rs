@@ -7,8 +7,9 @@
 //! store ID instead, so joins and grouping treat value-equal terms as
 //! equal regardless of where they came from.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use quadstore::{DatasetView, GraphConstraint, QuadPattern};
 use rdf_model::{Term, TermId};
@@ -29,6 +30,36 @@ pub type Row = Vec<Option<u64>>;
 
 type BoxIter<'it> = Box<dyn Iterator<Item = Row> + 'it>;
 
+/// Resource bounds on one query execution. Operators charge the context
+/// for every intermediate row they produce, so a pathological query (a
+/// cross product, a runaway property path) aborts with
+/// [`SparqlError::ResourceExhausted`] instead of consuming unbounded
+/// memory or wall-clock time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecLimits {
+    /// Abort after producing this many intermediate rows across all
+    /// operators (`None` = unbounded).
+    pub max_rows: Option<u64>,
+    /// Abort once this instant passes (`None` = no deadline). Checked
+    /// every ~1024 row charges to keep the clock off the hot path.
+    pub deadline: Option<Instant>,
+}
+
+impl ExecLimits {
+    /// A limit on intermediate rows only.
+    pub fn rows(max_rows: u64) -> ExecLimits {
+        ExecLimits { max_rows: Some(max_rows), deadline: None }
+    }
+
+    /// A deadline `timeout` from now.
+    pub fn timeout(timeout: std::time::Duration) -> ExecLimits {
+        ExecLimits { max_rows: None, deadline: Some(Instant::now() + timeout) }
+    }
+}
+
+/// How often (in row charges) the deadline is compared against the clock.
+const DEADLINE_STRIDE: u64 = 1024;
+
 /// Evaluation context: the dataset plus the computed-terms side table.
 pub struct EvalCtx<'a> {
     /// The dataset being queried.
@@ -38,6 +69,10 @@ pub struct EvalCtx<'a> {
     /// Compiled EXISTS patterns (referenced by `CExpr::ExistsRef`).
     pub exists: Vec<Node>,
     computed: RefCell<Computed>,
+    limits: ExecLimits,
+    charged: Cell<u64>,
+    next_deadline_check: Cell<u64>,
+    exhausted: RefCell<Option<String>>,
 }
 
 #[derive(Default)]
@@ -49,12 +84,62 @@ struct Computed {
 impl<'a> EvalCtx<'a> {
     /// Creates a context for one query execution.
     pub fn new(view: DatasetView<'a>, vars: VarTable) -> Self {
-        EvalCtx { view, vars, exists: Vec::new(), computed: RefCell::new(Computed::default()) }
+        Self::with_exists(view, vars, Vec::new())
     }
 
     /// A context carrying compiled EXISTS patterns.
     pub fn with_exists(view: DatasetView<'a>, vars: VarTable, exists: Vec<Node>) -> Self {
-        EvalCtx { view, vars, exists, computed: RefCell::new(Computed::default()) }
+        EvalCtx {
+            view,
+            vars,
+            exists,
+            computed: RefCell::new(Computed::default()),
+            limits: ExecLimits::default(),
+            charged: Cell::new(0),
+            next_deadline_check: Cell::new(DEADLINE_STRIDE),
+            exhausted: RefCell::new(None),
+        }
+    }
+
+    /// Applies resource limits to this execution.
+    pub fn with_limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Charges `n` produced rows against the limits. Returns `false` once
+    /// a limit is hit — the calling operator must stop producing rows.
+    /// Exhaustion is sticky: every later charge also fails, and
+    /// [`exec_select`] turns the recorded reason into an error even when
+    /// an intermediate operator (e.g. a sub-select) discards it.
+    pub fn charge(&self, n: u64) -> bool {
+        if self.exhausted.borrow().is_some() {
+            return false;
+        }
+        let total = self.charged.get().saturating_add(n);
+        self.charged.set(total);
+        if let Some(max) = self.limits.max_rows {
+            if total > max {
+                *self.exhausted.borrow_mut() =
+                    Some(format!("produced more than {max} intermediate rows"));
+                return false;
+            }
+        }
+        if let Some(deadline) = self.limits.deadline {
+            if total >= self.next_deadline_check.get() {
+                self.next_deadline_check.set(total + DEADLINE_STRIDE);
+                if Instant::now() >= deadline {
+                    *self.exhausted.borrow_mut() = Some("deadline exceeded".into());
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Why execution was aborted, if a limit was hit.
+    pub fn exhaustion(&self) -> Option<String> {
+        self.exhausted.borrow().clone()
     }
 
     /// Resolves an ID (store or computed) to an owned term.
@@ -157,11 +242,22 @@ pub fn execute_compiled(
     view: &DatasetView<'_>,
     compiled: &CompiledQuery,
 ) -> Result<QueryResults, SparqlError> {
+    execute_compiled_with_limits(view, compiled, ExecLimits::default())
+}
+
+/// Executes a compiled query under resource limits: exceeding the row
+/// budget or the deadline aborts with [`SparqlError::ResourceExhausted`].
+pub fn execute_compiled_with_limits(
+    view: &DatasetView<'_>,
+    compiled: &CompiledQuery,
+    limits: ExecLimits,
+) -> Result<QueryResults, SparqlError> {
     let ctx = EvalCtx::with_exists(
         view.clone(),
         compiled.vars.clone(),
         compiled.exists.clone(),
-    );
+    )
+    .with_limits(limits);
     match &compiled.form {
         CForm::Select(sel) => {
             let rows = exec_select(&ctx, sel)?;
@@ -184,7 +280,11 @@ pub fn execute_compiled(
         CForm::Ask(node) => {
             let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
             let mut out = eval_node(&ctx, node, input);
-            Ok(QueryResults::Boolean(out.next().is_some()))
+            let answer = out.next().is_some();
+            if let Some(reason) = ctx.exhaustion() {
+                return Err(SparqlError::ResourceExhausted(reason));
+            }
+            Ok(QueryResults::Boolean(answer))
         }
         CForm::Construct(templates, sel) => {
             let rows = exec_select(&ctx, sel)?;
@@ -232,6 +332,13 @@ pub fn exec_select(ctx: &EvalCtx<'_>, sel: &CSelect) -> Result<Vec<Row>, SparqlE
         }
         rows
     };
+
+    // A limit hit anywhere below — including inside a sub-select whose
+    // error was discarded — surfaces here rather than as silently
+    // truncated results.
+    if let Some(reason) = ctx.exhaustion() {
+        return Err(SparqlError::ResourceExhausted(reason));
+    }
 
     if !sel.order_by.is_empty() {
         let mut keyed: Vec<(Vec<Option<Value>>, Row)> = rows
@@ -490,6 +597,9 @@ pub fn eval_node<'it>(ctx: &'it EvalCtx<'_>, node: &'it Node, input: BoxIter<'it
             for (s, o) in pairs {
                 let mut new_row = row.clone();
                 if extend_pos(&mut new_row, &pstep.s, s) && extend_pos(&mut new_row, &pstep.o, o) {
+                    if !ctx.charge(1) {
+                        break;
+                    }
                     out.push(new_row);
                 }
             }
@@ -643,6 +753,9 @@ fn eval_step<'it>(ctx: &'it EvalCtx<'_>, step: &'it Step, input: BoxIter<'it>) -
             if let Some(pattern) = probe_pattern(&row, &step.triple) {
                 for quad in ctx.view.scan(pattern) {
                     if let Some(new_row) = extend_row(&row, &step.triple, &quad) {
+                        if !ctx.charge(1) {
+                            break;
+                        }
                         out.push(new_row);
                     }
                 }
@@ -718,6 +831,9 @@ impl Iterator for HashJoinIter<'_, '_> {
                     let mut out = Vec::new();
                     for quad in self.ctx.view.scan(pattern) {
                         if let Some(new_row) = extend_row(&row, &self.step.triple, &quad) {
+                            if !self.ctx.charge(1) {
+                                return None;
+                            }
                             out.push(new_row);
                         }
                     }
@@ -735,6 +851,9 @@ impl Iterator for HashJoinIter<'_, '_> {
                 let mut out = Vec::with_capacity(quads.len());
                 for quad in quads {
                     if let Some(new_row) = extend_row(&row, &self.step.triple, quad) {
+                        if !self.ctx.charge(1) {
+                            return None;
+                        }
                         out.push(new_row);
                     }
                 }

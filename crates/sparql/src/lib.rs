@@ -42,7 +42,7 @@ pub mod update;
 
 pub use ast::{Query, Update};
 pub use error::SparqlError;
-pub use exec::{execute_compiled, QueryResults};
+pub use exec::{execute_compiled, execute_compiled_with_limits, ExecLimits, QueryResults};
 pub use parser::{parse_query, parse_update};
 pub use plan::{compile, compile_with, CompileOptions, CompiledQuery, ForcedJoin};
 pub use results::Solutions;
@@ -63,6 +63,21 @@ pub fn query_view(view: &DatasetView<'_>, text: &str) -> Result<QueryResults, Sp
     let parsed = parse_query(text)?;
     let compiled = compile(view, &parsed)?;
     execute_compiled(view, &compiled)
+}
+
+/// [`query`] under resource limits: execution aborts with
+/// [`SparqlError::ResourceExhausted`] when the row budget or deadline of
+/// `limits` is exceeded.
+pub fn query_with_limits(
+    store: &Store,
+    dataset: &str,
+    text: &str,
+    limits: ExecLimits,
+) -> Result<QueryResults, SparqlError> {
+    let view = store.dataset(dataset)?;
+    let parsed = parse_query(text)?;
+    let compiled = compile(&view, &parsed)?;
+    execute_compiled_with_limits(&view, &compiled, limits)
 }
 
 /// Convenience: run a SELECT and return its solutions (errors on ASK).

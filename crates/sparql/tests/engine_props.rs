@@ -2,19 +2,37 @@
 //! never change results, and the algebraic operators must obey their
 //! laws, for arbitrary small datasets and patterns.
 
-use proptest::prelude::*;
 use quadstore::Store;
 use rdf_model::{GraphName, Quad, Term};
 use sparql::{compile_with, execute_compiled, parse_query, CompileOptions, ForcedJoin, QueryResults};
 
+/// SplitMix64 case generator (std-only; no crates.io access).
+struct Rnd(u64);
+
+impl Rnd {
+    fn new(seed: u64) -> Rnd {
+        Rnd(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u8 {
+        (self.next() % n) as u8
+    }
+}
+
 /// A small random dataset: quads over bounded vocabularies so joins and
 /// graph matches actually happen.
-fn arb_store() -> impl Strategy<Value = Store> {
-    proptest::collection::vec(
-        (0u8..6, 0u8..4, 0u8..8, 0u8..4),
-        1..40,
-    )
-    .prop_map(|rows| {
+fn rand_store(seed: u64) -> Store {
+    let mut r = Rnd::new(seed);
+    let rows: Vec<(u8, u8, u8, u8)> = (0..1 + r.next() % 39)
+        .map(|_| (r.below(6), r.below(4), r.below(8), r.below(4)))
+        .collect();
+    {
         let mut store = Store::new();
         store.create_model("m").expect("fresh model");
         let quads: Vec<Quad> = rows
@@ -41,7 +59,7 @@ fn arb_store() -> impl Strategy<Value = Store> {
             .collect();
         store.bulk_load("m", &quads).expect("bulk load");
         store
-    })
+    }
 }
 
 /// Queries whose joins exercise the planner.
@@ -83,40 +101,48 @@ fn run(store: &Store, text: &str, force: Option<ForcedJoin>) -> Vec<String> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn join_strategy_never_changes_results(store in arb_store()) {
+#[test]
+fn join_strategy_never_changes_results() {
+    for case in 0..48u64 {
+        let store = rand_store(case);
         for q in queries() {
             let plain = run(&store, q, None);
             let nlj = run(&store, q, Some(ForcedJoin::Nlj));
             let hash = run(&store, q, Some(ForcedJoin::Hash));
-            prop_assert_eq!(&plain, &nlj, "NLJ differs on {}", q);
-            prop_assert_eq!(&plain, &hash, "hash join differs on {}", q);
+            assert_eq!(&plain, &nlj, "NLJ differs on {}", q);
+            assert_eq!(&plain, &hash, "hash join differs on {}", q);
         }
     }
+}
 
-    #[test]
-    fn distinct_is_a_subset_with_unique_rows(store in arb_store()) {
+#[test]
+fn distinct_is_a_subset_with_unique_rows() {
+    for case in 0..48u64 {
+        let store = rand_store(case);
         let all = run(&store, "SELECT ?x ?y WHERE { ?x ?p ?y }", None);
         let distinct = run(&store, "SELECT DISTINCT ?x ?y WHERE { ?x ?p ?y }", None);
         let unique: std::collections::BTreeSet<_> = all.iter().cloned().collect();
-        prop_assert_eq!(distinct.len(), unique.len());
+        assert_eq!(distinct.len(), unique.len());
         for row in &distinct {
-            prop_assert!(unique.contains(row));
+            assert!(unique.contains(row));
         }
     }
+}
 
-    #[test]
-    fn limit_truncates(store in arb_store()) {
+#[test]
+fn limit_truncates() {
+    for case in 0..48u64 {
+        let store = rand_store(case);
         let all = run(&store, "SELECT ?x WHERE { ?x ?p ?y }", None);
         let limited = run(&store, "SELECT ?x WHERE { ?x ?p ?y } LIMIT 3", None);
-        prop_assert_eq!(limited.len(), all.len().min(3));
+        assert_eq!(limited.len(), all.len().min(3));
     }
+}
 
-    #[test]
-    fn union_default_graph_supersets_strict(store in arb_store()) {
+#[test]
+fn union_default_graph_supersets_strict() {
+    for case in 0..48u64 {
+        let store = rand_store(case);
         let q = "SELECT ?x ?y WHERE { ?x <http://p1> ?y }";
         let view = store.dataset("m").expect("dataset");
         let parsed = parse_query(q).expect("parse");
@@ -127,18 +153,24 @@ proptest! {
             QueryResults::Solutions(s) => s.len(),
             _ => 0,
         };
-        prop_assert!(count(&union) >= count(&strict));
+        assert!(count(&union) >= count(&strict));
     }
+}
 
-    #[test]
-    fn ask_agrees_with_select(store in arb_store()) {
+#[test]
+fn ask_agrees_with_select() {
+    for case in 0..48u64 {
+        let store = rand_store(case);
         let select = run(&store, "SELECT ?x WHERE { ?x <http://p2> ?y }", None);
         let ask = run(&store, "ASK { ?x <http://p2> ?y }", None);
-        prop_assert_eq!(ask[0] == "true", !select.is_empty());
+        assert_eq!(ask[0] == "true", !select.is_empty());
     }
+}
 
-    #[test]
-    fn count_star_equals_row_count(store in arb_store()) {
+#[test]
+fn count_star_equals_row_count() {
+    for case in 0..48u64 {
+        let store = rand_store(case);
         let rows = run(&store, "SELECT ?x ?y WHERE { ?x <http://p0> ?y . ?x <http://p1> ?z }", None);
         let view = store.dataset("m").expect("dataset");
         let parsed = parse_query(
@@ -147,19 +179,22 @@ proptest! {
         let QueryResults::Solutions(s) = execute_compiled(&view, &compiled).expect("run") else {
             panic!("expected solutions");
         };
-        prop_assert_eq!(s.scalar_i64().expect("scalar") as usize, rows.len());
+        assert_eq!(s.scalar_i64().expect("scalar") as usize, rows.len());
     }
+}
 
-    #[test]
-    fn path_plus_is_transitive_closure_of_single_step(store in arb_store()) {
+#[test]
+fn path_plus_is_transitive_closure_of_single_step() {
+    for case in 0..48u64 {
+        let store = rand_store(case);
         // Every pair reachable via p0 directly must be in p0+.
         let direct = run(&store, "SELECT DISTINCT ?x ?y WHERE { ?x <http://p0> ?y }", None);
         let closure = run(&store, "SELECT DISTINCT ?x ?y WHERE { ?x <http://p0>+ ?y }", None);
         let closure_set: std::collections::BTreeSet<_> = closure.iter().cloned().collect();
         for pair in &direct {
-            prop_assert!(closure_set.contains(pair), "missing direct pair {}", pair);
+            assert!(closure_set.contains(pair), "missing direct pair {}", pair);
         }
         // And p0+ ⊆ p0* (minus the zero-length pairs); just check sizes.
-        prop_assert!(closure.len() >= direct.len());
+        assert!(closure.len() >= direct.len());
     }
 }

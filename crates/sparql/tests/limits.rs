@@ -1,0 +1,94 @@
+//! Query-execution resource guards: a row budget or deadline must abort
+//! runaway queries with `ResourceExhausted`, and generous limits must
+//! never change results.
+
+use quadstore::Store;
+use rdf_model::{Quad, Term};
+use sparql::{query, query_with_limits, ExecLimits, QueryResults, SparqlError};
+
+/// A store where `?a ?p ?x . ?b ?p ?y` explodes quadratically.
+fn dense_store(n: u32) -> Store {
+    let mut store = Store::new();
+    store.create_model("m").expect("model");
+    let quads: Vec<Quad> = (0..n)
+        .map(|i| {
+            Quad::triple(
+                Term::iri(format!("http://s{i}")),
+                Term::iri("http://p"),
+                Term::iri(format!("http://o{i}")),
+            )
+            .expect("valid quad")
+        })
+        .collect();
+    store.bulk_load("m", &quads).expect("load");
+    store
+}
+
+const CROSS: &str = "SELECT ?a ?b WHERE { ?a <http://p> ?x . ?b <http://p> ?y }";
+
+#[test]
+fn row_budget_aborts_cross_products() {
+    let store = dense_store(100);
+    // 100 × 100 intermediate rows, budget of 500.
+    let result = query_with_limits(&store, "m", CROSS, ExecLimits::rows(500));
+    assert!(
+        matches!(result, Err(SparqlError::ResourceExhausted(_))),
+        "expected ResourceExhausted, got {result:?}"
+    );
+}
+
+#[test]
+fn generous_budget_changes_nothing() {
+    let store = dense_store(12);
+    let unlimited = query(&store, "m", CROSS).expect("unlimited");
+    let limited =
+        query_with_limits(&store, "m", CROSS, ExecLimits::rows(1_000_000)).expect("limited");
+    assert_eq!(unlimited, limited);
+}
+
+#[test]
+fn expired_deadline_aborts() {
+    let store = dense_store(200);
+    // A deadline in the past trips at the first stride check.
+    let limits = ExecLimits {
+        max_rows: None,
+        deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+    };
+    let result = query_with_limits(&store, "m", CROSS, limits);
+    assert!(
+        matches!(result, Err(SparqlError::ResourceExhausted(_))),
+        "expected ResourceExhausted, got {result:?}"
+    );
+}
+
+#[test]
+fn budget_inside_subselect_still_surfaces() {
+    let store = dense_store(60);
+    // The sub-select's error is discarded by the SubSelect operator, but
+    // the sticky exhaustion flag must surface from the outer query.
+    let q = "SELECT ?a WHERE { ?a <http://p> ?x . \
+             { SELECT ?b WHERE { ?b <http://p> ?u . ?c <http://p> ?v } } }";
+    let result = query_with_limits(&store, "m", q, ExecLimits::rows(300));
+    assert!(
+        matches!(result, Err(SparqlError::ResourceExhausted(_))),
+        "expected ResourceExhausted, got {result:?}"
+    );
+}
+
+#[test]
+fn ask_respects_limits() {
+    let store = dense_store(100);
+    let result = query_with_limits(
+        &store,
+        "m",
+        "ASK { ?a <http://p> ?x . ?b <http://p> ?y . FILTER (?a = ?b && ?x != ?y) }",
+        ExecLimits::rows(50),
+    );
+    match result {
+        Err(SparqlError::ResourceExhausted(_)) => {}
+        Ok(QueryResults::Boolean(answer)) => {
+            panic!("ASK completed ({answer}) despite a 50-row budget")
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}

@@ -22,14 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod degree;
+pub mod rng;
 pub mod snap;
 pub mod zipf;
 
 use std::collections::BTreeSet;
 
 use propertygraph::{PropertyGraph, VertexId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::Rng;
 use zipf::{poisson, Zipf};
 
 /// Generator configuration. The `Default` instance matches the paper's
@@ -118,7 +118,7 @@ impl TwitterGenConfig {
 /// assert_eq!(labels, vec!["follows".to_string(), "knows".to_string()]);
 /// ```
 pub fn generate(config: &TwitterGenConfig) -> PropertyGraph {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let n_nodes = config.nodes();
     let n_egos = config.egos();
     let tag_vocab = config.tag_vocab();

@@ -6,7 +6,7 @@
 //! shared-literal in-degree spike of Figure 4 and the non-empty edge-KV
 //! intersections of §4.2.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A Zipf(s) sampler over ranks `0..n` using an inverse-CDF table.
 #[derive(Debug, Clone)]
@@ -41,14 +41,14 @@ impl Zipf {
     }
 
     /// Draws a rank in `0..n` (0 = most popular).
-    pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
 
 /// Draws from Poisson(lambda) via Knuth's method (fine for small lambda).
-pub fn poisson(rng: &mut impl Rng, lambda: f64) -> usize {
+pub fn poisson(rng: &mut Rng, lambda: f64) -> usize {
     if lambda <= 0.0 {
         return 0;
     }
@@ -56,7 +56,7 @@ pub fn poisson(rng: &mut impl Rng, lambda: f64) -> usize {
     let mut k = 0usize;
     let mut p = 1.0f64;
     loop {
-        p *= rng.gen::<f64>();
+        p *= rng.gen_f64();
         if p <= l {
             return k;
         }
@@ -70,13 +70,11 @@ pub fn poisson(rng: &mut impl Rng, lambda: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn zipf_prefers_low_ranks() {
         let z = Zipf::new(1000, 1.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut counts = vec![0usize; 1000];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -88,7 +86,7 @@ mod tests {
     #[test]
     fn zipf_covers_range() {
         let z = Zipf::new(5, 1.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..1000 {
             seen.insert(z.sample(&mut rng));
@@ -98,7 +96,7 @@ mod tests {
 
     #[test]
     fn poisson_mean_is_roughly_lambda() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let n = 20_000;
         let total: usize = (0..n).map(|_| poisson(&mut rng, 4.0)).sum();
         let mean = total as f64 / n as f64;
@@ -107,7 +105,7 @@ mod tests {
 
     #[test]
     fn poisson_zero_lambda() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert_eq!(poisson(&mut rng, 0.0), 0);
     }
 }

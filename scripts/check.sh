@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Tier-1 gate: the whole workspace must build in release mode and every
+# test must pass. CI and pre-merge checks run exactly this.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q

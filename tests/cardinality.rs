@@ -6,7 +6,25 @@
 use pgrdf::cardinality::{measure, predict, predict_subjects, resource_counts, PgCardinalities};
 use pgrdf::{convert, PgRdfModel, PgVocab};
 use propertygraph::PropertyGraph;
-use proptest::prelude::*;
+
+/// SplitMix64 case generator (std-only; no crates.io access).
+struct Rnd(u64);
+
+impl Rnd {
+    fn new(seed: u64) -> Rnd {
+        Rnd(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 fn assert_table2(graph: &PropertyGraph) {
     let vocab = PgVocab::default();
@@ -55,51 +73,53 @@ fn graph_with_only_isolated_vertices() {
     }
 }
 
-/// Strategy: a random property graph with unique (src, label, dst) per
-/// edge — the paper's Table 2 assumes no parallel same-label edges (their
-/// `-s-p-o` triples would deduplicate).
-fn arb_graph() -> impl Strategy<Value = PropertyGraph> {
-    let edges = proptest::collection::btree_set((0u64..12, 0usize..3, 0u64..12), 0..25);
-    let node_props = proptest::collection::vec((0u64..12, 0usize..3, 0i64..5), 0..20);
-    let edge_prop_flags = proptest::collection::vec(any::<bool>(), 25);
-    (edges, node_props, edge_prop_flags).prop_map(|(edges, node_props, flags)| {
-        let labels = ["follows", "knows", "likes"];
-        let keys = ["age", "since", "name"];
-        let mut g = PropertyGraph::new();
-        let mut edge_ids = Vec::new();
-        for (src, label, dst) in edges {
-            edge_ids.push(g.add_edge(src, labels[label], dst));
+/// A random property graph with unique (src, label, dst) per edge — the
+/// paper's Table 2 assumes no parallel same-label edges (their `-s-p-o`
+/// triples would deduplicate).
+fn rand_graph(seed: u64) -> PropertyGraph {
+    let mut r = Rnd::new(seed);
+    let labels = ["follows", "knows", "likes"];
+    let keys = ["age", "since", "name"];
+    let mut edges = std::collections::BTreeSet::new();
+    for _ in 0..r.below(25) {
+        edges.insert((r.below(12), r.below(3) as usize, r.below(12)));
+    }
+    let mut g = PropertyGraph::new();
+    let mut edge_ids = Vec::new();
+    for &(src, label, dst) in &edges {
+        edge_ids.push(g.add_edge(src, labels[label], dst));
+    }
+    for &eid in &edge_ids {
+        if r.next() & 1 == 0 {
+            g.add_edge_prop(eid, "since", 2007).expect("edge exists");
         }
-        for (eid, flag) in edge_ids.iter().zip(flags) {
-            if flag {
-                g.add_edge_prop(*eid, "since", 2007).expect("edge exists");
-            }
-        }
-        for (v, key, val) in node_props {
-            g.add_vertex(v);
-            g.add_vertex_prop(v, keys[key], val).expect("vertex exists");
-        }
-        g
-    })
+    }
+    for _ in 0..r.below(20) {
+        let (v, key, val) = (r.below(12), r.below(3) as usize, r.below(5) as i64);
+        g.add_vertex(v);
+        g.add_vertex_prop(v, keys[key], val).expect("vertex exists");
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn table2_formulas_hold_for_random_graphs(graph in arb_graph()) {
-        assert_table2(&graph);
+#[test]
+fn table2_formulas_hold_for_random_graphs() {
+    for case in 0..64 {
+        assert_table2(&rand_graph(case));
     }
+}
 
-    #[test]
-    fn ng_is_always_smallest_sp_middle_rf_largest(graph in arb_graph()) {
+#[test]
+fn ng_is_always_smallest_sp_middle_rf_largest() {
+    for case in 0..64 {
+        let graph = rand_graph(case);
         let vocab = PgVocab::default();
         let count = |model| convert(&graph, model, &vocab).len();
         let (rf, ng, sp) = (count(PgRdfModel::RF), count(PgRdfModel::NG), count(PgRdfModel::SP));
-        prop_assert!(ng <= sp, "NG={ng} SP={sp}");
-        prop_assert!(sp <= rf, "SP={sp} RF={rf}");
+        assert!(ng <= sp, "NG={ng} SP={sp}");
+        assert!(sp <= rf, "SP={sp} RF={rf}");
         let e = graph.edge_count();
-        prop_assert_eq!(sp - ng, 2 * e);
-        prop_assert_eq!(rf - sp, e);
+        assert_eq!(sp - ng, 2 * e);
+        assert_eq!(rf - sp, e);
     }
 }

@@ -4,7 +4,6 @@
 
 use pgrdf::{LoadOptions, PartitionLayout, PgRdfModel, PgRdfStore, PgVocab};
 use propertygraph::PropertyGraph;
-use proptest::prelude::*;
 
 fn sample_graph(seed: u64) -> PropertyGraph {
     twittergen::generate(&twittergen::TwitterGenConfig::with_seed(0.0015, seed))
@@ -117,11 +116,9 @@ fn single_triple_optimization_preserves_topology_answers() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn random_seeds_keep_models_equivalent(seed in 0u64..500) {
+#[test]
+fn random_seeds_keep_models_equivalent() {
+    for seed in [0u64, 17, 42, 99, 123, 200, 256, 311, 365, 404, 451, 499] {
         let graph = twittergen::generate(
             &twittergen::TwitterGenConfig::with_seed(0.001, seed));
         let q = "PREFIX r: <http://pg/r/>\
@@ -131,7 +128,7 @@ proptest! {
             let store = load(&graph, model, PartitionLayout::Monolithic);
             counts.push(store.select(q).unwrap().scalar_i64());
         }
-        prop_assert_eq!(counts[0], counts[1]);
-        prop_assert_eq!(counts[1], counts[2]);
+        assert_eq!(counts[0], counts[1], "seed {seed}");
+        assert_eq!(counts[1], counts[2], "seed {seed}");
     }
 }

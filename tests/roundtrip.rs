@@ -4,7 +4,25 @@
 
 use pgrdf::{convert, roundtrip, PgRdfModel, PgVocab};
 use propertygraph::{PropertyGraph, RelationalGraph};
-use proptest::prelude::*;
+
+/// SplitMix64 case generator (std-only; no crates.io access).
+struct Rnd(u64);
+
+impl Rnd {
+    fn new(seed: u64) -> Rnd {
+        Rnd(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// KV collections are conceptually sets; normalise the per-key value
 /// vectors to sorted lexical forms so storage order differences (e.g.
@@ -93,58 +111,58 @@ fn relational_and_tsv_roundtrip() {
     assert!(graphs_equal(&graph, &back2));
 }
 
-fn arb_graph() -> impl Strategy<Value = PropertyGraph> {
-    let edges = proptest::collection::btree_set((0u64..10, 0usize..2, 0u64..10), 0..15);
-    let vertex_props = proptest::collection::vec((0u64..10, 0usize..3, -5i64..50), 0..15);
-    let edge_props = proptest::collection::vec((0usize..15, 0usize..3, any::<bool>()), 0..10);
-    let isolated = proptest::collection::btree_set(50u64..60, 0..3);
-    (edges, vertex_props, edge_props, isolated).prop_map(
-        |(edges, vertex_props, edge_props, isolated)| {
-            let labels = ["follows", "knows"];
-            let keys = ["age", "name", "score"];
-            let mut g = PropertyGraph::new();
-            let mut ids = Vec::new();
-            for (src, label, dst) in edges {
-                ids.push(g.add_edge(src, labels[label], dst));
+fn rand_graph(seed: u64) -> PropertyGraph {
+    let mut r = Rnd::new(seed);
+    let labels = ["follows", "knows"];
+    let keys = ["age", "name", "score"];
+    let mut edges = std::collections::BTreeSet::new();
+    for _ in 0..r.below(15) {
+        edges.insert((r.below(10), r.below(2) as usize, r.below(10)));
+    }
+    let mut g = PropertyGraph::new();
+    let mut ids = Vec::new();
+    for &(src, label, dst) in &edges {
+        ids.push(g.add_edge(src, labels[label], dst));
+    }
+    for _ in 0..r.below(15) {
+        let (v, key, val) = (r.below(10), r.below(3) as usize, r.below(55) as i64 - 5);
+        g.add_vertex(v);
+        if key == 1 {
+            g.add_vertex_prop(v, keys[key], format!("s{val}")).expect("exists");
+        } else {
+            g.add_vertex_prop(v, keys[key], val).expect("exists");
+        }
+    }
+    for _ in 0..r.below(10) {
+        let (slot, key, as_bool) = (r.below(15) as usize, r.below(3) as usize, r.next() & 1 == 0);
+        if let Some(&eid) = ids.get(slot) {
+            if as_bool {
+                g.add_edge_prop(eid, keys[key], true).expect("exists");
+            } else {
+                g.add_edge_prop(eid, keys[key], 2.5).expect("exists");
             }
-            for (v, key, val) in vertex_props {
-                g.add_vertex(v);
-                if key == 1 {
-                    g.add_vertex_prop(v, keys[key], format!("s{val}")).expect("exists");
-                } else {
-                    g.add_vertex_prop(v, keys[key], val).expect("exists");
-                }
-            }
-            for (slot, key, as_bool) in edge_props {
-                if let Some(&eid) = ids.get(slot) {
-                    if as_bool {
-                        g.add_edge_prop(eid, keys[key], true).expect("exists");
-                    } else {
-                        g.add_edge_prop(eid, keys[key], 2.5).expect("exists");
-                    }
-                }
-            }
-            for v in isolated {
-                g.add_vertex(v);
-            }
-            g
-        },
-    )
+        }
+    }
+    for _ in 0..r.below(3) {
+        g.add_vertex(50 + r.below(10));
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_graphs_roundtrip_through_all_models(graph in arb_graph()) {
-        assert_roundtrips(&graph);
+#[test]
+fn random_graphs_roundtrip_through_all_models() {
+    for case in 0..48 {
+        assert_roundtrips(&rand_graph(case));
     }
+}
 
-    #[test]
-    fn random_graphs_roundtrip_through_tsv(graph in arb_graph()) {
+#[test]
+fn random_graphs_roundtrip_through_tsv() {
+    for case in 0..48 {
+        let graph = rand_graph(case);
         let tsv = propertygraph::csv::to_tsv(&graph);
         let back = propertygraph::csv::from_tsv(&tsv).unwrap();
-        prop_assert!(graphs_equal(&graph, &back));
+        assert!(graphs_equal(&graph, &back), "case {case}");
     }
 }
 
