@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale 0.02] [--seed 7739251] [table2|table5|table6|table7|table8|table9|
-//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|durability|all]
+//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|durability|all]
 //! ```
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
@@ -43,7 +43,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|durability|all]"
+                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|durability|all]"
                 );
                 std::process::exit(0);
             }
@@ -75,7 +75,7 @@ fn main() {
     // Everything below needs the generated dataset.
     let needs_fixture = [
         "table5", "table6", "table7", "table8", "table9", "fig4", "fig5", "fig6", "fig7",
-        "fig8", "fig9", "rf", "mono", "durability",
+        "fig8", "fig9", "rf", "mono", "pr2", "durability",
     ]
     .iter()
     .any(|s| want(s));
@@ -159,6 +159,9 @@ fn main() {
     }
     if want("mono") {
         monolithic_scan_ablation(&fixture);
+    }
+    if want("pr2") {
+        bench_pr2(&fixture, &args);
     }
     // Opt-in (not part of `all`): fsync-heavy, so only on explicit ask.
     if args.sections.iter().any(|s| s == "durability") {
@@ -481,4 +484,164 @@ fn print_scaled_rows(rows: &[(&str, usize, usize)], scale: f64) {
             name, paper_value, scaled, measured
         );
     }
+}
+
+/// PR2 artifact: per-family latency distributions for the morsel-parallel
+/// executor (sequential `threads(1)` vs parallel `threads(4)`) and
+/// plan-cache cold/hit timings, written to `BENCH_PR2.json`.
+///
+/// Families follow the paper's experiment grouping: node-centric
+/// (EQ1–EQ4), edge-centric (EQ5–EQ8), aggregates (EQ9/EQ10), traversal
+/// (EQ11c), triangle counting (EQ12). Medians/p95s pool every timed
+/// iteration of the family's queries; the warm-up run populates the plan
+/// cache, so both modes replay the same compiled plan.
+fn bench_pr2(fixture: &Fixture, args: &Args) {
+    use sparql::ExecOptions;
+
+    const PAR_THREADS: usize = 4;
+    const ITERS: usize = 9;
+    let families: &[(&str, &[Eq])] = &[
+        ("node", &[Eq::Eq1, Eq::Eq2, Eq::Eq3, Eq::Eq4]),
+        ("edge", &[Eq::Eq5, Eq::Eq6, Eq::Eq7, Eq::Eq8]),
+        ("aggregate", &[Eq::Eq9, Eq::Eq10]),
+        ("traversal", &[Eq::Eq11(3)]),
+        ("triangle", &[Eq::Eq12]),
+    ];
+
+    println!("\n--- PR2: parallel execution + plan cache (BENCH_PR2.json) ---");
+    println!(
+        "{:<10} {:<6} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "family", "model", "seq med", "seq p95", "par med", "par p95", "speedup"
+    );
+
+    let mut model_blocks = Vec::new();
+    for model in [PgRdfModel::NG, PgRdfModel::SP] {
+        let mut family_blocks = Vec::new();
+        for (family, queries) in families {
+            let mut seq_ms = Vec::new();
+            let mut par_ms = Vec::new();
+            for &eq in *queries {
+                let to_ms =
+                    |v: Vec<std::time::Duration>| v.into_iter().map(|d| d.as_secs_f64() * 1e3);
+                seq_ms.extend(to_ms(fixture.time_with_options(
+                    eq,
+                    model,
+                    ExecOptions::threads(1),
+                    ITERS,
+                )));
+                par_ms.extend(to_ms(fixture.time_with_options(
+                    eq,
+                    model,
+                    ExecOptions::threads(PAR_THREADS),
+                    ITERS,
+                )));
+            }
+            let (seq_med, seq_p95) = (percentile(&seq_ms, 50.0), percentile(&seq_ms, 95.0));
+            let (par_med, par_p95) = (percentile(&par_ms, 50.0), percentile(&par_ms, 95.0));
+            let speedup = seq_med / par_med;
+            println!(
+                "{:<10} {:<6} {:>10} {:>10} {:>10} {:>10} {:>7.2}x",
+                family,
+                model.to_string(),
+                format!("{seq_med:.3}ms"),
+                format!("{seq_p95:.3}ms"),
+                format!("{par_med:.3}ms"),
+                format!("{par_p95:.3}ms"),
+                speedup
+            );
+            family_blocks.push(format!(
+                concat!(
+                    "      \"{}\": {{\n",
+                    "        \"queries\": [{}],\n",
+                    "        \"sequential\": {{\"median_ms\": {:.3}, \"p95_ms\": {:.3}}},\n",
+                    "        \"parallel\": {{\"median_ms\": {:.3}, \"p95_ms\": {:.3}}},\n",
+                    "        \"speedup_median\": {:.3}\n",
+                    "      }}"
+                ),
+                family,
+                queries
+                    .iter()
+                    .map(|eq| format!("\"{}\"", eq.label(model)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                seq_med,
+                seq_p95,
+                par_med,
+                par_p95,
+                speedup
+            ));
+        }
+
+        // Plan-cache cold-vs-hit timing on a representative aggregate
+        // query: clearing the cache forces one parse+compile (cold); the
+        // replays execute the cached plan only.
+        let store = fixture.store(model);
+        let text = fixture.query_text(Eq::Eq9, model);
+        let dataset = fixture.dataset_for(Eq::Eq9, model);
+        store.plan_cache().clear();
+        let compiles_before = store.plan_cache().compiles();
+        let t0 = Instant::now();
+        store.select_in(&dataset, &text).expect("EQ9 cold run");
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let hit_ms: Vec<f64> = (0..ITERS)
+            .map(|_| {
+                let t0 = Instant::now();
+                store.select_in(&dataset, &text).expect("EQ9 hit run");
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        let compiled = store.plan_cache().compiles() - compiles_before;
+        assert_eq!(compiled, 1, "cache hits must not recompile");
+        let hit_med = percentile(&hit_ms, 50.0);
+        println!(
+            "plan cache {:<6} cold={:.3}ms hit(med)={:.3}ms compiles={} (hits recompile nothing)",
+            model.to_string(),
+            cold_ms,
+            hit_med,
+            compiled
+        );
+
+        model_blocks.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"families\": {{\n{}\n      }},\n",
+                "      \"plan_cache\": {{\"query\": \"EQ9\", \"cold_ms\": {:.3}, ",
+                "\"hit_median_ms\": {:.3}, \"compiles_during_hits\": {}}}\n",
+                "    }}"
+            ),
+            model,
+            family_blocks.join(",\n"),
+            cold_ms,
+            hit_med,
+            compiled - 1
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scale\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"iterations_per_query\": {},\n",
+            "  \"parallel_threads\": {},\n",
+            "  \"models\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        args.scale,
+        args.seed,
+        ITERS,
+        PAR_THREADS,
+        model_blocks.join(",\n")
+    );
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    println!("wrote BENCH_PR2.json");
+}
+
+/// Nearest-rank percentile (q in 0..=100) over unsorted samples.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank - 1]
 }

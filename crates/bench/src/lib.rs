@@ -158,6 +158,36 @@ impl Fixture {
         }
     }
 
+    /// Times one experiment query under explicit execution options:
+    /// one warm-up run, then `iters` timed runs (wall clock each).
+    /// The warm-up also populates the store's plan cache, so the timed
+    /// runs measure execution only — the same plan is replayed for both
+    /// sequential and parallel options.
+    pub fn time_with_options(
+        &self,
+        eq: Eq,
+        model: PgRdfModel,
+        options: sparql::ExecOptions,
+        iters: usize,
+    ) -> Vec<Duration> {
+        let store = self.store(model);
+        let text = self.query_text(eq, model);
+        let dataset = self.dataset_for(eq, model);
+        let exec = || {
+            store
+                .select_in_with(&dataset, &text, options)
+                .unwrap_or_else(|e| panic!("{} on {model} failed: {e}", eq.label(model)))
+        };
+        let _warmup = exec();
+        (0..iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _sols = exec();
+                t0.elapsed()
+            })
+            .collect()
+    }
+
     /// Runs one experiment query, returning `(elapsed, result_rows)`.
     /// Follows the paper's methodology: one warm-up run, then the timed
     /// run.

@@ -4,7 +4,7 @@
 use propertygraph::PropertyGraph;
 use quadstore::{IndexKind, ModelStats, StorageReport, Store};
 use rdf_model::Quad;
-use sparql::{QueryResults, Solutions, UpdateStats};
+use sparql::{ExecOptions, PlanCache, QueryResults, Solutions, UpdateStats};
 
 use crate::convert::{convert_with, ConvertOptions, PgRdfModel};
 use crate::error::CoreError;
@@ -76,6 +76,10 @@ pub struct PgRdfStore {
     vocab: PgVocab,
     layout: PartitionLayout,
     base: String,
+    /// Compiled-plan cache shared by every query entry point. Entries are
+    /// validated against [`Store::epoch`], so any DML/DDL through this
+    /// handle (or recovery replay) silently evicts stale plans.
+    plan_cache: PlanCache,
 }
 
 impl PgRdfStore {
@@ -160,6 +164,7 @@ impl PgRdfStore {
             vocab: options.vocab,
             layout: options.layout,
             base: options.base_name,
+            plan_cache: PlanCache::default(),
         })
     }
 
@@ -200,20 +205,66 @@ impl PgRdfStore {
         }
     }
 
+    /// Parses and compiles through the plan cache, then executes. A cache
+    /// hit replays the compiled plan with zero parse/compile work; the
+    /// entry's epoch stamp guarantees any store mutation since compile
+    /// time forces a recompile.
+    fn query_cached(
+        &self,
+        dataset: &str,
+        text: &str,
+        options: ExecOptions,
+    ) -> Result<QueryResults, CoreError> {
+        let view = self.store.dataset(dataset)?;
+        // The key folds in the dataset name *and* the physical index
+        // signature: plans bake index choices into their access paths.
+        let key = format!("{dataset}={}", view.index_signature());
+        let copts = sparql::CompileOptions::default();
+        let plan = self
+            .plan_cache
+            .get_or_compile(&key, text, copts, self.store.epoch(), || {
+                let parsed = sparql::parse_query(text)?;
+                sparql::compile_with(&view, &parsed, copts)
+            })?;
+        Ok(sparql::execute_compiled_with_options(&view, &plan, options)?)
+    }
+
     /// Runs a SPARQL query against the full dataset.
     pub fn query(&self, text: &str) -> Result<QueryResults, CoreError> {
-        Ok(sparql::query(&self.store, &self.dataset_name(), text)?)
+        self.query_cached(&self.dataset_name(), text, ExecOptions::default())
     }
 
     /// Runs a SELECT and returns solutions.
     pub fn select(&self, text: &str) -> Result<Solutions, CoreError> {
-        Ok(sparql::select(&self.store, &self.dataset_name(), text)?)
+        self.select_in_with(&self.dataset_name(), text, ExecOptions::default())
     }
 
     /// Runs a SELECT against one partition (Table 4: "a user can choose
     /// the appropriate RDF dataset for each query").
     pub fn select_in(&self, dataset: &str, text: &str) -> Result<Solutions, CoreError> {
-        Ok(sparql::select(&self.store, dataset, text)?)
+        self.select_in_with(dataset, text, ExecOptions::default())
+    }
+
+    /// [`Self::select_in`] with explicit execution options — the bench
+    /// harness uses this to pin sequential vs parallel execution.
+    pub fn select_in_with(
+        &self,
+        dataset: &str,
+        text: &str,
+        options: ExecOptions,
+    ) -> Result<Solutions, CoreError> {
+        match self.query_cached(dataset, text, options)? {
+            QueryResults::Solutions(s) => Ok(s),
+            QueryResults::Boolean(_) | QueryResults::Graph(_) => Err(CoreError::Sparql(
+                sparql::SparqlError::Unsupported("expected a SELECT query".into()),
+            )),
+        }
+    }
+
+    /// The compiled-plan cache (hit/miss/invalidation counters for tests
+    /// and benchmarks).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// Scalar convenience for COUNT queries.
@@ -372,6 +423,7 @@ impl PgRdfStore {
             vocab: vocab.ok_or_else(bad_meta)?,
             layout: layout.ok_or_else(bad_meta)?,
             base: base.ok_or_else(bad_meta)?,
+            plan_cache: PlanCache::default(),
         })
     }
 }

@@ -16,6 +16,20 @@ pub struct DatasetView<'a> {
     members: Vec<&'a SemanticModel>,
 }
 
+/// One unit of parallel scan work: a contiguous chunk of one member's
+/// sorted-index span for a pattern, or that member's DML-delta overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Index of the member model within the view.
+    pub member: usize,
+    /// Absolute start key position in the member's chosen index.
+    pub lo: usize,
+    /// Absolute end key position (exclusive).
+    pub hi: usize,
+    /// True for the member's delta-added morsel (lo/hi unused).
+    pub delta: bool,
+}
+
 impl<'a> DatasetView<'a> {
     pub(crate) fn new(store: &'a Store, members: Vec<&'a SemanticModel>) -> Self {
         DatasetView { store, members }
@@ -52,10 +66,49 @@ impl<'a> DatasetView<'a> {
         members.into_iter().flat_map(move |m| m.scan(pattern))
     }
 
+    /// Like [`Self::scan`] but borrowing `self` instead of detaching from
+    /// it: no member-list clone per call. This is the executor's per-probe
+    /// fast path — a nested-loop join issues one probe per input row, so
+    /// the per-call constant matters far more than for full scans.
+    pub fn probe(&self, pattern: QuadPattern) -> impl Iterator<Item = EncodedQuad> + '_ {
+        self.members.iter().flat_map(move |m| m.scan(pattern))
+    }
+
     /// Decoded scan, for callers that want terms rather than IDs.
     pub fn scan_decoded(&self, pattern: QuadPattern) -> impl Iterator<Item = Quad> + 'a {
         let store = self.store;
         self.scan(pattern).map(move |q| store.decode(&q))
+    }
+
+    /// A stable signature of the view's member models and their index
+    /// sets, e.g. `"topology[PCSGM,PSCGM,SPCGM,GPSCM]"`. Plan caches key
+    /// on this: dropping or creating an index changes the signature, so a
+    /// plan compiled against a different physical design can never be
+    /// replayed (index choice is baked into compiled access paths).
+    pub fn index_signature(&self) -> String {
+        use std::fmt::Write;
+        let mut sig = String::new();
+        for m in &self.members {
+            if !sig.is_empty() {
+                sig.push('|');
+            }
+            let _ = write!(sig, "{}[", m.name());
+            for (i, kind) in m.index_kinds().iter().enumerate() {
+                if i > 0 {
+                    sig.push(',');
+                }
+                let _ = write!(sig, "{kind}");
+            }
+            sig.push(']');
+        }
+        sig
+    }
+
+    /// Exact number of quads matching `pattern` across members, using
+    /// each member's pure range count when the pattern fully binds its
+    /// chosen index prefix (see [`SemanticModel::count_matches`]).
+    pub fn count_matches(&self, pattern: &QuadPattern) -> usize {
+        self.members.iter().map(|m| m.count_matches(pattern)).sum()
     }
 
     /// Whether any member contains the quad.
@@ -75,6 +128,92 @@ impl<'a> DatasetView<'a> {
             .iter()
             .map(|m| (m.name(), m.choose_index(pattern)))
             .collect()
+    }
+
+    /// Splits the scan of `pattern` into fixed-size morsels: contiguous
+    /// chunks of each member's chosen sorted-index span, plus (per member)
+    /// one morsel for its uncompacted DML delta. Scanning the morsels in
+    /// order with [`Self::scan_morsel`] yields exactly the quads of
+    /// [`Self::scan`], in the same order — which is what lets parallel
+    /// workers merge morsel outputs back into the sequential row order.
+    pub fn plan_morsels(&self, pattern: &QuadPattern, morsel_size: usize) -> Vec<Morsel> {
+        self.plan_morsels_ordered(pattern, morsel_size, None)
+    }
+
+    /// [`Self::plan_morsels`] with an output-order preference (0=S, 1=P,
+    /// 2=O, 3=G): among each member's tying indexes, chunk the one whose
+    /// scan emits quads sorted by that position. The same `prefer` must be
+    /// passed to [`Self::scan_morsel_ordered`]. Order-preference changes
+    /// *row order only*; the quad multiset is identical, which is why only
+    /// order-insensitive consumers (grouped aggregation) use it.
+    pub fn plan_morsels_ordered(
+        &self,
+        pattern: &QuadPattern,
+        morsel_size: usize,
+        prefer: Option<usize>,
+    ) -> Vec<Morsel> {
+        let size = morsel_size.max(1);
+        let mut out = Vec::new();
+        for (member, m) in self.members.iter().enumerate() {
+            let (lo, hi) = m.base_span(pattern, prefer);
+            let mut start = lo;
+            while start < hi {
+                let end = (start + size).min(hi);
+                out.push(Morsel { member, lo: start, hi: end, delta: false });
+                start = end;
+            }
+            if m.has_delta_added() {
+                out.push(Morsel { member, lo: 0, hi: 0, delta: true });
+            }
+        }
+        out
+    }
+
+    /// Scans one morsel produced by [`Self::plan_morsels`].
+    pub fn scan_morsel(
+        &self,
+        pattern: QuadPattern,
+        morsel: &Morsel,
+    ) -> Box<dyn Iterator<Item = EncodedQuad> + 'a> {
+        self.scan_morsel_ordered(pattern, morsel, None)
+    }
+
+    /// Scans one morsel produced by [`Self::plan_morsels_ordered`], with
+    /// the same `prefer` the morsels were planned with.
+    pub fn scan_morsel_ordered(
+        &self,
+        pattern: QuadPattern,
+        morsel: &Morsel,
+        prefer: Option<usize>,
+    ) -> Box<dyn Iterator<Item = EncodedQuad> + 'a> {
+        let m = self.members[morsel.member];
+        if morsel.delta {
+            Box::new(m.scan_delta(pattern))
+        } else {
+            Box::new(m.scan_base_span(pattern, morsel.lo, morsel.hi, prefer))
+        }
+    }
+
+    /// Statistics-based per-probe fanout: the expected number of matches of
+    /// `pattern` per distinct combination of the given quad positions
+    /// (0=S, 1=P, 2=O, 3=G), from exact range cardinalities divided by
+    /// cached distinct counts. Unlike [`Self::avg_fanout`] this never scans
+    /// data at plan time.
+    pub fn stat_fanout(&self, pattern: &QuadPattern, positions: &[usize]) -> f64 {
+        let mut total = 0.0f64;
+        for m in &self.members {
+            let est = m.estimate(pattern) as f64;
+            if est == 0.0 {
+                continue;
+            }
+            let distinct = m.distinct_counts();
+            let mut denom = 1.0f64;
+            for &p in positions {
+                denom *= distinct[p].max(1) as f64;
+            }
+            total += (est / denom).max(1.0).min(est);
+        }
+        total.max(1.0)
     }
 
     /// Samples the scan of `pattern` to estimate the average number of
@@ -162,6 +301,65 @@ mod tests {
         let quads: Vec<Quad> = view.scan_decoded(QuadPattern::any()).collect();
         assert_eq!(quads.len(), 1);
         assert_eq!(quads[0].subject, Term::iri("http://s1"));
+    }
+
+    #[test]
+    fn morsels_reproduce_scan_order() {
+        let mut store = store_with_two_models();
+        // Give model "a" extra base rows and an uncompacted delta.
+        let quads: Vec<Quad> = (0..10)
+            .map(|i| {
+                Quad::triple(
+                    Term::iri(format!("http://s{i}")),
+                    Term::iri("http://p"),
+                    Term::iri("http://o"),
+                )
+                .unwrap()
+            })
+            .collect();
+        store.bulk_load("a", &quads).unwrap();
+        store
+            .insert("a", &quad_of("http://sx", "http://p", "http://oy"))
+            .unwrap();
+        let view = store.dataset_union(&["a", "b"]).unwrap();
+        let p = store.term_id(&Term::iri("http://p")).unwrap();
+        let pat = QuadPattern { s: None, p: Some(p), o: None, g: GraphConstraint::Any };
+        let sequential: Vec<_> = view.scan(pat).collect();
+        for morsel_size in [1, 3, 7, 1024] {
+            let morsels = view.plan_morsels(&pat, morsel_size);
+            let chunked: Vec<_> = morsels
+                .iter()
+                .flat_map(|m| view.scan_morsel(pat, m))
+                .collect();
+            assert_eq!(chunked, sequential, "morsel_size {morsel_size}");
+        }
+    }
+
+    fn quad_of(s: &str, p: &str, o: &str) -> Quad {
+        Quad::triple(Term::iri(s), Term::iri(p), Term::iri(o)).unwrap()
+    }
+
+    #[test]
+    fn stat_fanout_uses_distinct_counts() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        // 8 quads, 4 distinct subjects -> fanout 2 per subject.
+        let quads: Vec<Quad> = (0..8)
+            .map(|i| {
+                Quad::triple(
+                    Term::iri(format!("http://s{}", i % 4)),
+                    Term::iri("http://p"),
+                    Term::iri(format!("http://o{i}")),
+                )
+                .unwrap()
+            })
+            .collect();
+        store.bulk_load("m", &quads).unwrap();
+        let view = store.dataset("m").unwrap();
+        let p = store.term_id(&Term::iri("http://p")).unwrap();
+        let pat = QuadPattern { s: None, p: Some(p), o: None, g: GraphConstraint::Any };
+        let fanout = view.stat_fanout(&pat, &[crate::ids::S]);
+        assert!((fanout - 2.0).abs() < 1e-9, "got {fanout}");
     }
 
     #[test]

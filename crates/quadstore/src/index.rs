@@ -132,6 +132,14 @@ impl IndexKind {
             .count()
     }
 
+    /// The quad position (0=S, 1=P, 2=O, 3=G) of the `i`-th key component.
+    /// `position_at(bound_prefix_len(p))` is the first position a scan of
+    /// `p` through this index emits in sorted order — what the grouped
+    /// executor matches against its group key to get run-length input.
+    pub fn position_at(&self, i: usize) -> usize {
+        self.0[i].quad_position()
+    }
+
     /// Permutes an SPOG-encoded quad into this index's key order.
     pub fn key_of(&self, quad: &EncodedQuad) -> [u64; 4] {
         [
@@ -224,6 +232,47 @@ impl SortedIndex {
     pub fn prefix_count(&self, prefix: &[u64]) -> usize {
         let (lo, hi) = self.prefix_range(prefix);
         hi - lo
+    }
+
+    /// Exact number of keys under `pattern`'s bound prefix, with the
+    /// prefix built on the stack — no allocation. This is the per-probe
+    /// hot path for fully-bound existence checks (e.g. the closing edge
+    /// of a triangle count runs once per candidate wedge).
+    pub fn pattern_count(&self, pattern: &QuadPattern) -> usize {
+        let n = self.kind.bound_prefix_len(pattern);
+        let mut prefix = [0u64; 4];
+        for (i, slot) in prefix.iter_mut().enumerate().take(n) {
+            *slot = pattern.bound(self.kind.position_at(i)).expect("prefix position bound");
+        }
+        let (lo, hi) = self.prefix_range(&prefix[..n]);
+        hi - lo
+    }
+
+    /// The absolute key span `[lo, hi)` that a scan of `pattern` would
+    /// walk under this index's order — the unit that morsel-driven
+    /// execution chunks into fixed-size work items.
+    pub fn pattern_span(&self, pattern: &QuadPattern) -> (usize, usize) {
+        let prefix = self.prefix_for(pattern);
+        self.prefix_range(&prefix)
+    }
+
+    /// Scans an absolute key sub-span (clamped to the index length),
+    /// applying the same residual filtering as [`Self::scan`]. Chunking a
+    /// pattern's [`Self::pattern_span`] and scanning each chunk yields
+    /// exactly the quads of `scan(pattern)`, in the same order.
+    pub fn scan_span<'a>(
+        &'a self,
+        pattern: QuadPattern,
+        lo: usize,
+        hi: usize,
+    ) -> impl Iterator<Item = EncodedQuad> + 'a {
+        let lo = lo.min(self.keys.len());
+        let hi = hi.min(self.keys.len()).max(lo);
+        let kind = self.kind;
+        self.keys[lo..hi]
+            .iter()
+            .map(move |k| kind.quad_of(k))
+            .filter(move |q| pattern.matches(q))
     }
 
     /// Extracts the bound-prefix values of `pattern` under this index's

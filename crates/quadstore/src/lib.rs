@@ -34,7 +34,7 @@ pub mod stats;
 pub mod store;
 pub mod wal;
 
-pub use dataset::DatasetView;
+pub use dataset::{DatasetView, Morsel};
 pub use durable::{DurableStore, SyncPolicy};
 pub use error::StoreError;
 pub use faults::{FaultPlan, FaultyVfs, RealFs, Vfs};

@@ -7,9 +7,11 @@
 //! sorted base arrays (the same bulk-vs-incremental split real stores use).
 
 use std::collections::BTreeSet;
+use std::collections::HashSet;
+use std::sync::OnceLock;
 
 use crate::error::StoreError;
-use crate::ids::{EncodedQuad, QuadPattern};
+use crate::ids::{EncodedQuad, QuadPattern, G, O, P, S};
 use crate::index::{IndexKind, SortedIndex};
 
 /// Decision record of which access path a scan used; surfaces in the
@@ -41,6 +43,10 @@ pub struct SemanticModel {
     /// Quads deleted since the last compaction.
     delta_removed: BTreeSet<EncodedQuad>,
     base_len: usize,
+    /// Lazily computed distinct counts per quad position (S, P, O, G),
+    /// reset by any mutation. Thread-safe so concurrent query workers can
+    /// share the model by reference.
+    distinct_cache: OnceLock<[usize; 4]>,
 }
 
 impl SemanticModel {
@@ -59,6 +65,7 @@ impl SemanticModel {
             delta_added: BTreeSet::new(),
             delta_removed: BTreeSet::new(),
             base_len: 0,
+            distinct_cache: OnceLock::new(),
         })
     }
 
@@ -112,6 +119,7 @@ impl SemanticModel {
         if self.contains(&quad) {
             return false;
         }
+        self.distinct_cache = OnceLock::new();
         if self.delta_removed.remove(&quad) {
             return true; // resurrect a base quad
         }
@@ -120,6 +128,7 @@ impl SemanticModel {
 
     /// Removes one quad; returns `true` if it was present.
     pub fn remove(&mut self, quad: EncodedQuad) -> bool {
+        self.distinct_cache = OnceLock::new();
         if self.delta_added.remove(&quad) {
             return true;
         }
@@ -154,6 +163,7 @@ impl SemanticModel {
     fn rebuild(&mut self, mut all: Vec<EncodedQuad>) {
         all.sort_unstable();
         all.dedup();
+        self.distinct_cache = OnceLock::new();
         self.base_len = all.len();
         self.delta_added.clear();
         self.delta_removed.clear();
@@ -211,6 +221,21 @@ impl SemanticModel {
     /// gives the longest bound prefix (ties broken by declaration order,
     /// so PCSGM wins when several qualify — matching Table 5's plans).
     pub fn choose_index(&self, pattern: &QuadPattern) -> AccessPath {
+        self.choose_index_ordered(pattern, None)
+    }
+
+    /// Like [`Self::choose_index`], but with an output-order preference:
+    /// among indexes tying on bound-prefix length, pick one whose first
+    /// *unbound* sort position is `prefer` (0=S, 1=P, 2=O, 3=G), so the
+    /// scan emits quads sorted by that position. Falls back to the default
+    /// declaration-order winner when no tying index matches. The grouped
+    /// executor uses this to feed its run-length accumulator keys in sorted
+    /// runs; it never changes which rows are produced, only their order.
+    pub fn choose_index_ordered(
+        &self,
+        pattern: &QuadPattern,
+        prefer: Option<usize>,
+    ) -> AccessPath {
         let mut best = 0usize;
         let mut best_len = self.index_kinds[0].bound_prefix_len(pattern);
         for (i, kind) in self.index_kinds.iter().enumerate().skip(1) {
@@ -218,6 +243,18 @@ impl SemanticModel {
             if len > best_len {
                 best = i;
                 best_len = len;
+            }
+        }
+        if let Some(pos) = prefer {
+            if best_len < 4 {
+                for (i, kind) in self.index_kinds.iter().enumerate() {
+                    if kind.bound_prefix_len(pattern) == best_len
+                        && kind.position_at(best_len) == pos
+                    {
+                        best = i;
+                        break;
+                    }
+                }
             }
         }
         AccessPath { index: self.index_kinds[best], bound_prefix: best_len }
@@ -242,6 +279,32 @@ impl SemanticModel {
             )
     }
 
+    /// Exact number of matches for `pattern`. When the chosen index's
+    /// bound prefix covers every bindable position, the graph constraint
+    /// is not the un-rangeable `AnyNamed`, and no DML delta is pending,
+    /// this is a pure range count (two binary searches, no iteration) —
+    /// the executor's fast path for fully-bound existence probes such as
+    /// the closing edge of a triangle query. Falls back to counting the
+    /// filtered scan otherwise.
+    pub fn count_matches(&self, pattern: &QuadPattern) -> usize {
+        if self.delta_added.is_empty()
+            && self.delta_removed.is_empty()
+            && !matches!(pattern.g, crate::ids::GraphConstraint::AnyNamed)
+        {
+            let path = self.choose_index(pattern);
+            let bindable = (0..4).filter(|&p| pattern.bound(p).is_some()).count();
+            if path.bound_prefix == bindable {
+                let idx = self
+                    .indexes
+                    .iter()
+                    .find(|i| i.kind() == path.index)
+                    .expect("chosen index exists");
+                return idx.pattern_count(pattern);
+            }
+        }
+        self.scan(*pattern).count()
+    }
+
     /// Estimated number of matches for `pattern` (exact on the base index
     /// range, plus the whole delta as slack).
     pub fn estimate(&self, pattern: &QuadPattern) -> usize {
@@ -253,6 +316,79 @@ impl SemanticModel {
             .expect("chosen index exists");
         let prefix = idx.prefix_for(pattern);
         idx.prefix_count(&prefix) + self.delta_added.len()
+    }
+
+    fn index_for(&self, pattern: &QuadPattern, prefer: Option<usize>) -> &SortedIndex {
+        let path = self.choose_index_ordered(pattern, prefer);
+        self.indexes
+            .iter()
+            .find(|i| i.kind() == path.index)
+            .expect("chosen index exists")
+    }
+
+    /// The base-index key span `[lo, hi)` a scan of `pattern` walks in the
+    /// model's chosen index — what morsel-driven execution chunks. The DML
+    /// delta is not part of the span; see [`Self::scan_delta`]. `prefer`
+    /// picks among tying indexes per [`Self::choose_index_ordered`] and
+    /// must match the value later passed to [`Self::scan_base_span`].
+    pub fn base_span(&self, pattern: &QuadPattern, prefer: Option<usize>) -> (usize, usize) {
+        self.index_for(pattern, prefer).pattern_span(pattern)
+    }
+
+    /// Scans a sub-span of [`Self::base_span`], applying residual filtering
+    /// and the removed-quads overlay. Concatenating the chunks of the span
+    /// and then [`Self::scan_delta`] reproduces [`Self::scan`] exactly
+    /// (up to row order when `prefer` overrides the default index).
+    pub fn scan_base_span<'a>(
+        &'a self,
+        pattern: QuadPattern,
+        lo: usize,
+        hi: usize,
+        prefer: Option<usize>,
+    ) -> impl Iterator<Item = EncodedQuad> + 'a {
+        self.index_for(&pattern, prefer)
+            .scan_span(pattern, lo, hi)
+            .filter(move |q| !self.delta_removed.contains(q))
+    }
+
+    /// Quads added by uncompacted DML that match `pattern` (the tail of
+    /// [`Self::scan`]'s output).
+    pub fn scan_delta<'a>(
+        &'a self,
+        pattern: QuadPattern,
+    ) -> impl Iterator<Item = EncodedQuad> + 'a {
+        self.delta_added
+            .iter()
+            .copied()
+            .filter(move |q| pattern.matches(q))
+    }
+
+    /// True when the model has uncompacted inserted quads.
+    pub fn has_delta_added(&self) -> bool {
+        !self.delta_added.is_empty()
+    }
+
+    /// Distinct values per quad position `[S, P, O, G]`, computed in one
+    /// pass (the same counts [`crate::ModelStats`] reports, with the
+    /// default graph counted in G) and cached until the next mutation.
+    /// The planner divides range-scan cardinalities by these to estimate
+    /// per-probe join fanout.
+    pub fn distinct_counts(&self) -> [usize; 4] {
+        *self.distinct_cache.get_or_init(|| {
+            let mut sets = [
+                HashSet::new(),
+                HashSet::new(),
+                HashSet::new(),
+                HashSet::new(),
+            ];
+            for quad in self.iter_all() {
+                sets[S].insert(quad[S]);
+                sets[P].insert(quad[P]);
+                sets[O].insert(quad[O]);
+                sets[G].insert(quad[G]);
+            }
+            [sets[S].len(), sets[P].len(), sets[O].len(), sets[G].len()]
+        })
     }
 }
 
@@ -334,6 +470,44 @@ mod tests {
         let mut hits: Vec<_> = m.scan(pat).collect();
         hits.sort_unstable();
         assert_eq!(hits, vec![[2, 10, 3, 0], [5, 10, 6, 0]]);
+    }
+
+    #[test]
+    fn span_chunks_plus_delta_reproduce_scan() {
+        let mut m = model();
+        m.bulk_load(vec![[1, 10, 3, 0], [2, 10, 3, 0], [3, 10, 4, 0], [4, 11, 5, 0]]);
+        m.remove([2, 10, 3, 0]);
+        m.insert([9, 10, 9, 0]);
+        let pat = QuadPattern {
+            s: None,
+            p: Some(TermId(10)),
+            o: None,
+            g: GraphConstraint::DefaultOnly,
+        };
+        let sequential: Vec<_> = m.scan(pat).collect();
+        let (lo, hi) = m.base_span(&pat, None);
+        for chunk in [1usize, 2, 100] {
+            let mut out = Vec::new();
+            let mut start = lo;
+            while start < hi {
+                let end = (start + chunk).min(hi);
+                out.extend(m.scan_base_span(pat, start, end, None));
+                start = end;
+            }
+            out.extend(m.scan_delta(pat));
+            assert_eq!(out, sequential, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn distinct_counts_track_mutations() {
+        let mut m = model();
+        m.bulk_load(vec![[1, 10, 3, 0], [2, 10, 4, 0]]);
+        assert_eq!(m.distinct_counts(), [2, 1, 2, 1]);
+        m.insert([1, 11, 3, 5]);
+        assert_eq!(m.distinct_counts(), [2, 2, 2, 2]);
+        m.remove([2, 10, 4, 0]);
+        assert_eq!(m.distinct_counts(), [1, 2, 1, 2]);
     }
 
     #[test]

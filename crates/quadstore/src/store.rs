@@ -41,6 +41,11 @@ pub struct Store {
     models: BTreeMap<String, SemanticModel>,
     virtual_models: BTreeMap<String, Vec<String>>,
     default_indexes: Vec<IndexKind>,
+    /// Mutation epoch: incremented by every operation that could change
+    /// query results or plans (DML, DDL, index changes, interning).
+    /// Compiled-plan caches compare the epoch they captured at compile
+    /// time against the current value to detect staleness.
+    epoch: u64,
 }
 
 impl Default for Store {
@@ -64,12 +69,24 @@ impl Store {
             models: BTreeMap::new(),
             virtual_models: BTreeMap::new(),
             default_indexes: kinds.to_vec(),
+            epoch: 0,
         }
     }
 
     /// The shared term dictionary.
     pub fn dictionary(&self) -> &Dictionary {
         &self.dict
+    }
+
+    /// The current mutation epoch. Any mutation (DML, DDL, index changes,
+    /// interning) advances it, so a cached compiled plan is valid exactly
+    /// when the epoch it was compiled under still equals this value.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Creates an empty semantic model with the store's default indexes.
@@ -89,12 +106,14 @@ impl Store {
         }
         self.models
             .insert(name.to_string(), SemanticModel::new(name, kinds)?);
+        self.bump_epoch();
         Ok(())
     }
 
     /// Drops a semantic model. Virtual models referencing it are dropped too.
     pub fn drop_model(&mut self, name: &str) -> Result<(), StoreError> {
         if self.virtual_models.remove(name).is_some() {
+            self.bump_epoch();
             return Ok(());
         }
         if self.models.remove(name).is_none() {
@@ -102,6 +121,7 @@ impl Store {
         }
         self.virtual_models
             .retain(|_, members| !members.iter().any(|m| m == name));
+        self.bump_epoch();
         Ok(())
     }
 
@@ -129,6 +149,7 @@ impl Store {
         }
         self.virtual_models
             .insert(name.to_string(), members.iter().map(|s| s.to_string()).collect());
+        self.bump_epoch();
         Ok(())
     }
 
@@ -154,6 +175,7 @@ impl Store {
 
     /// Interns a term (used by loaders and the SPARQL update path).
     pub fn intern(&mut self, term: &Term) -> TermId {
+        self.bump_epoch();
         self.dict.intern(term)
     }
 
@@ -170,6 +192,7 @@ impl Store {
 
     /// Encodes a quad, interning all components.
     pub fn encode(&mut self, quad: &Quad) -> EncodedQuad {
+        self.bump_epoch();
         let s = self.dict.intern(&quad.subject);
         let p = self.dict.intern(&quad.predicate);
         let o = self.dict.intern(&quad.object);
@@ -203,6 +226,7 @@ impl Store {
             return Err(StoreError::UnknownModel(model.to_string()));
         }
         let encoded = self.encode(quad);
+        self.bump_epoch();
         Ok(self
             .models
             .get_mut(model)
@@ -228,7 +252,11 @@ impl Store {
             },
         ];
         match ids {
-            [Some(s), Some(p), Some(o), Some(g)] => Ok(m.remove([s.0, p.0, o.0, g.0])),
+            [Some(s), Some(p), Some(o), Some(g)] => {
+                let removed = m.remove([s.0, p.0, o.0, g.0]);
+                self.bump_epoch();
+                Ok(removed)
+            }
             _ => Ok(false),
         }
     }
@@ -239,7 +267,9 @@ impl Store {
             .models
             .get_mut(model)
             .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
-        Ok(m.insert(quad))
+        let inserted = m.insert(quad);
+        self.bump_epoch();
+        Ok(inserted)
     }
 
     /// Removes an already-encoded quad.
@@ -248,7 +278,9 @@ impl Store {
             .models
             .get_mut(model)
             .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
-        Ok(m.remove(quad))
+        let removed = m.remove(quad);
+        self.bump_epoch();
+        Ok(removed)
     }
 
     /// Bulk-loads quads into a model, rebuilding its indexes once.
@@ -266,6 +298,7 @@ impl Store {
             .get_mut(model)
             .expect("checked above")
             .bulk_load(encoded);
+        self.bump_epoch();
         Ok(n)
     }
 
@@ -277,6 +310,7 @@ impl Store {
             .get_mut(model)
             .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
         m.add_index(kind);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -286,7 +320,9 @@ impl Store {
             .models
             .get_mut(model)
             .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
-        m.drop_index(kind)
+        let result = m.drop_index(kind);
+        self.bump_epoch();
+        result
     }
 
     /// Compacts the DML delta of one model into its base indexes.
@@ -296,6 +332,7 @@ impl Store {
             .get_mut(model)
             .ok_or_else(|| StoreError::UnknownModel(model.to_string()))?;
         m.compact();
+        self.bump_epoch();
         Ok(())
     }
 

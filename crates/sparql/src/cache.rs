@@ -1,0 +1,270 @@
+//! Compiled-plan cache: parse + compile once, replay the plan until the
+//! store changes.
+//!
+//! Compiled plans bake in three kinds of store state: interned constant
+//! IDs, cost-based join order/strategy decisions, and (implicitly) the
+//! index set the access paths were chosen from. The cache therefore keys
+//! an entry on *(dataset signature, query text, compile options)* — the
+//! dataset signature includes each member model's index set — and stamps
+//! it with the store's **mutation epoch** at compile time. Every store
+//! mutation (DML, DDL, index changes, even dictionary interning) bumps
+//! the epoch, so a lookup whose entry carries a stale epoch is treated as
+//! an invalidation: the entry is dropped and the query recompiled.
+//!
+//! Eviction is LRU over a fixed capacity, tracked with a monotone tick —
+//! no clocks, no background threads. All counters are atomics so the
+//! cache can sit behind an `&self` store handle shared across threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::SparqlError;
+use crate::plan::{CompileOptions, CompiledQuery};
+
+/// Default number of cached plans (per store handle).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Dataset/index signature (see `DatasetView::index_signature`).
+    dataset: String,
+    /// Full query text, byte-for-byte.
+    text: String,
+    /// Compile options the plan was built under.
+    options: CompileOptions,
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<CompiledQuery>,
+    /// Store mutation epoch the plan was compiled under.
+    epoch: u64,
+    /// LRU tick of the last hit or insert.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// A bounded, epoch-validated LRU cache of compiled query plans.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    compiles: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached plan for `(dataset, text, options)` if one
+    /// exists *and* was compiled under the current `epoch`; otherwise
+    /// runs `compile`, caches its result under `epoch`, and returns it.
+    ///
+    /// A present-but-stale entry counts as an **invalidation** (and a
+    /// miss); the stale plan is dropped before recompiling. `compile`
+    /// runs outside the cache lock, so a slow compilation never blocks
+    /// concurrent lookups; if two threads race to fill the same key, the
+    /// last writer wins (both results are valid for the epoch).
+    pub fn get_or_compile(
+        &self,
+        dataset: &str,
+        text: &str,
+        options: CompileOptions,
+        epoch: u64,
+        compile: impl FnOnce() -> Result<CompiledQuery, SparqlError>,
+    ) -> Result<Arc<CompiledQuery>, SparqlError> {
+        let key = CacheKey {
+            dataset: dataset.to_string(),
+            text: text.to_string(),
+            options,
+        };
+        {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.map.get_mut(&key) {
+                Some(entry) if entry.epoch == epoch => {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&entry.plan));
+                }
+                Some(_) => {
+                    inner.map.remove(&key);
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(compile()?);
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+            }
+        }
+        inner
+            .map
+            .insert(key, Entry { plan: Arc::clone(&plan), epoch, last_used: tick });
+        Ok(plan)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").map.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("plan cache poisoned").map.clear();
+    }
+
+    /// Lookups that returned a current-epoch plan.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to (re)compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Misses caused by a present-but-stale entry (store epoch moved).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Times the compile closure actually ran — the "zero parse/compile
+    /// work on a hit" assertion hangs off this counter.
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CForm, VarTable};
+
+    fn dummy_plan() -> CompiledQuery {
+        CompiledQuery {
+            vars: VarTable::default(),
+            exists: Vec::new(),
+            form: CForm::Ask(crate::plan::Node::Steps(Vec::new())),
+        }
+    }
+
+    fn opts() -> CompileOptions {
+        CompileOptions::default()
+    }
+
+    #[test]
+    fn hit_skips_compile() {
+        let cache = PlanCache::new(4);
+        for _ in 0..3 {
+            cache
+                .get_or_compile("m[PCSGM]", "SELECT * WHERE {}", opts(), 7, || Ok(dummy_plan()))
+                .unwrap();
+        }
+        assert_eq!(cache.compiles(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.invalidations(), 0);
+    }
+
+    #[test]
+    fn epoch_change_invalidates() {
+        let cache = PlanCache::new(4);
+        let run = |epoch| {
+            cache
+                .get_or_compile("m[PCSGM]", "ASK {}", opts(), epoch, || Ok(dummy_plan()))
+                .unwrap()
+        };
+        run(1);
+        run(1);
+        run(2); // store mutated: recompile
+        assert_eq!(cache.compiles(), 2);
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_entries() {
+        let cache = PlanCache::new(4);
+        let mut forced = CompileOptions::default();
+        forced.force_join = Some(crate::plan::ForcedJoin::Hash);
+        cache.get_or_compile("a[PCSGM]", "ASK {}", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("b[PCSGM]", "ASK {}", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("a[PCSGM]", "ASK {}", forced, 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("a[SPCGM]", "ASK {}", opts(), 1, || Ok(dummy_plan())).unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        cache.get_or_compile("m", "q1", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("m", "q2", opts(), 1, || Ok(dummy_plan())).unwrap();
+        // Touch q1 so q2 becomes the LRU victim.
+        cache.get_or_compile("m", "q1", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("m", "q3", opts(), 1, || Ok(dummy_plan())).unwrap();
+        assert_eq!(cache.len(), 2);
+        cache.get_or_compile("m", "q1", opts(), 1, || Ok(dummy_plan())).unwrap();
+        assert_eq!(cache.hits(), 2, "q1 must have survived eviction");
+        cache.get_or_compile("m", "q2", opts(), 1, || Ok(dummy_plan())).unwrap();
+        assert_eq!(cache.compiles(), 4, "q2 must have been evicted and recompiled");
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let cache = PlanCache::new(4);
+        let err = cache.get_or_compile("m", "bad", opts(), 1, || {
+            Err(SparqlError::Unsupported("nope".into()))
+        });
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        cache.get_or_compile("m", "bad", opts(), 1, || Ok(dummy_plan())).unwrap();
+        assert_eq!(cache.compiles(), 2);
+    }
+}

@@ -7,11 +7,12 @@
 //! store ID instead, so joins and grouping treat value-equal terms as
 //! equal regardless of where they came from.
 
-use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-use quadstore::{DatasetView, GraphConstraint, QuadPattern};
+use quadstore::{DatasetView, GraphConstraint, Morsel, QuadPattern};
 use rdf_model::{Term, TermId};
 
 use crate::error::SparqlError;
@@ -60,7 +61,78 @@ impl ExecLimits {
 /// How often (in row charges) the deadline is compared against the clock.
 const DEADLINE_STRIDE: u64 = 1024;
 
+/// Default number of driving-scan rows per morsel.
+pub const DEFAULT_MORSEL_SIZE: usize = 2048;
+
+/// Execution tuning knobs: resource limits, worker threads, morsel size.
+///
+/// `threads == 0` means "use [`std::thread::available_parallelism`]";
+/// `threads == 1` disables the morsel-parallel executor entirely and runs
+/// the legacy streaming pipeline, which is the reference for the
+/// bit-identical-results guarantee.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Resource limits (row budget, deadline).
+    pub limits: ExecLimits,
+    /// Worker thread count (0 = auto-detect, 1 = sequential).
+    pub threads: usize,
+    /// Driving-scan rows per morsel (clamped to at least 1).
+    pub morsel_size: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            limits: ExecLimits::default(),
+            threads: 0,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with an explicit worker thread count.
+    pub fn threads(n: usize) -> ExecOptions {
+        ExecOptions { threads: n, ..ExecOptions::default() }
+    }
+
+    /// Sets the worker thread count (0 = auto).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Sets resource limits.
+    pub fn with_limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the morsel size (clamped to at least 1).
+    pub fn with_morsel_size(mut self, size: usize) -> Self {
+        self.morsel_size = size.max(1);
+        self
+    }
+}
+
+/// Hash-join build side: quads keyed by join-position IDs. Keys are store
+/// dictionary IDs (never attacker-controlled), so the cheap multiply-rotate
+/// [`IdHasher`] replaces SipHash — the probe side runs once per input row
+/// on the query's hottest path.
+type BuildTable = HashMap<Vec<u64>, Vec<quadstore::EncodedQuad>, IdHashState>;
+
+/// Read-only state shared across worker threads within one execution,
+/// keyed by the address of the plan node that owns it. Each entry is
+/// computed at most once (`OnceLock`) no matter how many workers race.
+#[derive(Default)]
+struct SharedState {
+    builds: Mutex<HashMap<usize, Arc<OnceLock<BuildTable>>>>,
+    rows: Mutex<HashMap<usize, Arc<OnceLock<Vec<Row>>>>>,
+}
+
 /// Evaluation context: the dataset plus the computed-terms side table.
+/// All interior mutability is thread-safe so morsel workers can share one
+/// context by reference.
 pub struct EvalCtx<'a> {
     /// The dataset being queried.
     pub view: DatasetView<'a>,
@@ -68,11 +140,15 @@ pub struct EvalCtx<'a> {
     pub vars: VarTable,
     /// Compiled EXISTS patterns (referenced by `CExpr::ExistsRef`).
     pub exists: Vec<Node>,
-    computed: RefCell<Computed>,
+    computed: RwLock<Computed>,
     limits: ExecLimits,
-    charged: Cell<u64>,
-    next_deadline_check: Cell<u64>,
-    exhausted: RefCell<Option<String>>,
+    threads: usize,
+    morsel_size: usize,
+    charged: AtomicU64,
+    next_deadline_check: AtomicU64,
+    exhausted_flag: AtomicBool,
+    exhausted: Mutex<Option<String>>,
+    shared: SharedState,
 }
 
 #[derive(Default)]
@@ -87,17 +163,22 @@ impl<'a> EvalCtx<'a> {
         Self::with_exists(view, vars, Vec::new())
     }
 
-    /// A context carrying compiled EXISTS patterns.
+    /// A context carrying compiled EXISTS patterns. Defaults to sequential
+    /// execution; use [`Self::with_options`] to enable parallelism.
     pub fn with_exists(view: DatasetView<'a>, vars: VarTable, exists: Vec<Node>) -> Self {
         EvalCtx {
             view,
             vars,
             exists,
-            computed: RefCell::new(Computed::default()),
+            computed: RwLock::new(Computed::default()),
             limits: ExecLimits::default(),
-            charged: Cell::new(0),
-            next_deadline_check: Cell::new(DEADLINE_STRIDE),
-            exhausted: RefCell::new(None),
+            threads: 1,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+            charged: AtomicU64::new(0),
+            next_deadline_check: AtomicU64::new(DEADLINE_STRIDE),
+            exhausted_flag: AtomicBool::new(false),
+            exhausted: Mutex::new(None),
+            shared: SharedState::default(),
         }
     }
 
@@ -107,29 +188,44 @@ impl<'a> EvalCtx<'a> {
         self
     }
 
+    /// Applies execution options, resolving `threads == 0` to the
+    /// machine's available parallelism.
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.limits = options.limits;
+        self.threads = if options.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            options.threads
+        };
+        self.morsel_size = options.morsel_size.max(1);
+        self
+    }
+
     /// Charges `n` produced rows against the limits. Returns `false` once
     /// a limit is hit — the calling operator must stop producing rows.
     /// Exhaustion is sticky: every later charge also fails, and
     /// [`exec_select`] turns the recorded reason into an error even when
     /// an intermediate operator (e.g. a sub-select) discards it.
     pub fn charge(&self, n: u64) -> bool {
-        if self.exhausted.borrow().is_some() {
+        if self.exhausted_flag.load(Ordering::Relaxed) {
             return false;
         }
-        let total = self.charged.get().saturating_add(n);
-        self.charged.set(total);
+        let total = self
+            .charged
+            .fetch_add(n, Ordering::Relaxed)
+            .saturating_add(n);
         if let Some(max) = self.limits.max_rows {
             if total > max {
-                *self.exhausted.borrow_mut() =
-                    Some(format!("produced more than {max} intermediate rows"));
+                self.exhaust(format!("produced more than {max} intermediate rows"));
                 return false;
             }
         }
         if let Some(deadline) = self.limits.deadline {
-            if total >= self.next_deadline_check.get() {
-                self.next_deadline_check.set(total + DEADLINE_STRIDE);
+            if total >= self.next_deadline_check.load(Ordering::Relaxed) {
+                self.next_deadline_check
+                    .store(total + DEADLINE_STRIDE, Ordering::Relaxed);
                 if Instant::now() >= deadline {
-                    *self.exhausted.borrow_mut() = Some("deadline exceeded".into());
+                    self.exhaust("deadline exceeded".into());
                     return false;
                 }
             }
@@ -137,16 +233,29 @@ impl<'a> EvalCtx<'a> {
         true
     }
 
+    fn exhaust(&self, reason: String) {
+        let mut guard = self.exhausted.lock().unwrap();
+        if guard.is_none() {
+            *guard = Some(reason);
+        }
+        self.exhausted_flag.store(true, Ordering::Relaxed);
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted_flag.load(Ordering::Relaxed)
+    }
+
     /// Why execution was aborted, if a limit was hit.
     pub fn exhaustion(&self) -> Option<String> {
-        self.exhausted.borrow().clone()
+        self.exhausted.lock().unwrap().clone()
     }
 
     /// Resolves an ID (store or computed) to an owned term.
     pub fn resolve(&self, id: u64) -> Option<Term> {
         if id & COMPUTED_BIT != 0 {
             self.computed
-                .borrow()
+                .read()
+                .unwrap()
                 .terms
                 .get((id & !COMPUTED_BIT) as usize)
                 .cloned()
@@ -159,7 +268,8 @@ impl<'a> EvalCtx<'a> {
     pub fn kind(&self, id: u64) -> Option<TermKind> {
         if id & COMPUTED_BIT != 0 {
             self.computed
-                .borrow()
+                .read()
+                .unwrap()
                 .terms
                 .get((id & !COMPUTED_BIT) as usize)
                 .map(TermKind::of)
@@ -169,12 +279,15 @@ impl<'a> EvalCtx<'a> {
     }
 
     /// Interns a term: store ID when the term exists in the store, else a
-    /// computed ID (stable within this execution).
+    /// computed ID (stable within this execution, across all workers).
     pub fn intern_term(&self, term: &Term) -> u64 {
         if let Some(id) = self.view.store().term_id(term) {
             return id.0;
         }
-        let mut computed = self.computed.borrow_mut();
+        if let Some(&id) = self.computed.read().unwrap().ids.get(term) {
+            return id;
+        }
+        let mut computed = self.computed.write().unwrap();
         if let Some(&id) = computed.ids.get(term) {
             return id;
         }
@@ -191,6 +304,40 @@ impl<'a> EvalCtx<'a> {
 
     fn empty_row(&self) -> Row {
         vec![None; self.vars.len()]
+    }
+
+    /// The shared hash-join build cell for a step (keyed by address).
+    fn build_cell(&self, step: &Step) -> Arc<OnceLock<BuildTable>> {
+        let key = step as *const Step as usize;
+        self.shared
+            .builds
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    fn rows_cell(&self, key: usize) -> Arc<OnceLock<Vec<Row>>> {
+        self.shared.rows.lock().unwrap().entry(key).or_default().clone()
+    }
+
+    /// A sub-select's result rows, computed once per execution (the input
+    /// rows never influence them — `exec_select` starts from an empty row).
+    fn shared_select_rows(&self, sel: &CSelect) -> Vec<Row> {
+        let cell = self.rows_cell(sel as *const CSelect as usize);
+        cell.get_or_init(|| exec_select(self, sel).unwrap_or_default())
+            .clone()
+    }
+
+    /// A MINUS right side's rows, computed once per execution.
+    fn shared_minus_rows(&self, inner: &Node) -> Vec<Row> {
+        let cell = self.rows_cell(inner as *const Node as usize);
+        cell.get_or_init(|| {
+            let probe: BoxIter = Box::new(std::iter::once(self.empty_row()));
+            eval_node(self, inner, probe).collect()
+        })
+        .clone()
     }
 }
 
@@ -237,12 +384,13 @@ pub enum QueryResults {
     Graph(Vec<rdf_model::Quad>),
 }
 
-/// Executes a compiled query against a dataset view.
+/// Executes a compiled query against a dataset view with default options
+/// (auto-detected parallelism, no resource limits).
 pub fn execute_compiled(
     view: &DatasetView<'_>,
     compiled: &CompiledQuery,
 ) -> Result<QueryResults, SparqlError> {
-    execute_compiled_with_limits(view, compiled, ExecLimits::default())
+    execute_compiled_with_options(view, compiled, ExecOptions::default())
 }
 
 /// Executes a compiled query under resource limits: exceeding the row
@@ -252,12 +400,24 @@ pub fn execute_compiled_with_limits(
     compiled: &CompiledQuery,
     limits: ExecLimits,
 ) -> Result<QueryResults, SparqlError> {
+    execute_compiled_with_options(view, compiled, ExecOptions::default().with_limits(limits))
+}
+
+/// Executes a compiled query with explicit execution options. With
+/// `threads > 1` (or auto-detected parallelism on a multi-core machine)
+/// eligible plans run on the morsel-parallel executor; results are
+/// guaranteed identical to `threads == 1` sequential execution.
+pub fn execute_compiled_with_options(
+    view: &DatasetView<'_>,
+    compiled: &CompiledQuery,
+    options: ExecOptions,
+) -> Result<QueryResults, SparqlError> {
     let ctx = EvalCtx::with_exists(
         view.clone(),
         compiled.vars.clone(),
         compiled.exists.clone(),
     )
-    .with_limits(limits);
+    .with_options(options);
     match &compiled.form {
         CForm::Select(sel) => {
             let rows = exec_select(&ctx, sel)?;
@@ -313,13 +473,15 @@ pub fn execute_compiled_with_limits(
 
 /// Evaluates a SELECT pipeline, returning full-width rows (all slots).
 pub fn exec_select(ctx: &EvalCtx<'_>, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
-    let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
-    let solutions = eval_node(ctx, &sel.root, input);
-
     let mut rows: Vec<Row> = if sel.is_grouped() {
-        group_and_aggregate(ctx, sel, solutions)?
+        grouped_rows(ctx, sel)?
     } else {
-        let mut rows: Vec<Row> = solutions.collect();
+        let mut rows: Vec<Row> = if ctx.threads > 1 {
+            par_produce(ctx, &sel.root)
+        } else {
+            let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
+            eval_node(ctx, &sel.root, input).collect()
+        };
         // Compute expression projections per row.
         for proj in &sel.projection {
             if let Some(expr) = &proj.expr {
@@ -517,6 +679,29 @@ impl Acc {
     }
 }
 
+/// Produces the grouped rows of a grouped SELECT, choosing between the
+/// parallel fused-aggregation path, ordered parallel production feeding
+/// the sequential aggregation loop, and the legacy streaming path.
+fn grouped_rows(ctx: &EvalCtx<'_>, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
+    if ctx.threads > 1 {
+        // Fused path: aggregate inside the morsel workers and merge
+        // partial groups. Only when every aggregate merges losslessly.
+        if let Some(partial) = par_grouped(ctx, sel) {
+            // One pass per final group to rehash into the std map the
+            // finaliser takes — negligible next to the per-row work.
+            let groups = partial.groups.into_iter().collect();
+            return finalize_groups(ctx, sel, groups, partial.saw_rows);
+        }
+        // Ordered path: produce rows in exact sequential order (parallel
+        // where the plan allows), then run the unchanged aggregation loop.
+        let rows = par_produce(ctx, &sel.root);
+        return group_and_aggregate(ctx, sel, Box::new(rows.into_iter()));
+    }
+    let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
+    let solutions = eval_node(ctx, &sel.root, input);
+    group_and_aggregate(ctx, sel, solutions)
+}
+
 fn group_and_aggregate(
     ctx: &EvalCtx<'_>,
     sel: &CSelect,
@@ -533,6 +718,18 @@ fn group_and_aggregate(
             acc.update(ctx, agg, &row);
         }
     }
+    finalize_groups(ctx, sel, groups, saw_rows)
+}
+
+/// Turns accumulated groups into output rows: default group for zero-row
+/// ungrouped aggregation, projection expressions, and HAVING.
+fn finalize_groups(
+    ctx: &EvalCtx<'_>,
+    sel: &CSelect,
+    mut groups: HashMap<Vec<Option<u64>>, Vec<Acc>>,
+    saw_rows: bool,
+) -> Result<Vec<Row>, SparqlError> {
+    let make_accs = || sel.aggregates.iter().map(Acc::new).collect::<Vec<_>>();
     // SPARQL: aggregation without GROUP BY over zero rows yields one group.
     if !saw_rows && sel.group_slots.is_empty() {
         groups.insert(Vec::new(), make_accs());
@@ -640,10 +837,7 @@ pub fn eval_node<'it>(ctx: &'it EvalCtx<'_>, node: &'it Node, input: BoxIter<'it
             }))
         }
         Node::SubSelect(sel) => {
-            let inner = match exec_select(ctx, sel) {
-                Ok(rows) => rows,
-                Err(_) => Vec::new(),
-            };
+            let inner = ctx.shared_select_rows(sel);
             let input_rows: Vec<Row> = input.collect();
             let slots = sel.projected_slots();
             // Join keys: projected slots bound in every input row.
@@ -726,8 +920,7 @@ pub fn eval_node<'it>(ctx: &'it EvalCtx<'_>, node: &'it Node, input: BoxIter<'it
             // MINUS: evaluate the inner pattern bottom-up once, then drop
             // input rows that are compatible with (and share at least one
             // bound variable with) some inner solution.
-            let probe: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
-            let right: Vec<Row> = eval_node(ctx, inner, probe).collect();
+            let right: Vec<Row> = ctx.shared_minus_rows(inner);
             Box::new(input.filter(move |row| {
                 !right.iter().any(|r| {
                     let mut shared = false;
@@ -768,15 +961,29 @@ fn eval_step<'it>(ctx: &'it EvalCtx<'_>, step: &'it Step, input: BoxIter<'it>) -
     }
 }
 
-/// Lazily-built hash join: the build side (a scan of the step's pattern
-/// with constants only — typically a full index scan) is materialised into
-/// a hash table on first use, then probed once per input row.
+/// Builds a hash-join build side: the step's pattern scanned with
+/// constants only, keyed by the join positions.
+fn build_table(ctx: &EvalCtx<'_>, step: &Step, join_slots: &[usize]) -> BuildTable {
+    let mut table = BuildTable::default();
+    if !step.triple.unsatisfiable() {
+        let positions = key_positions(&step.triple, join_slots);
+        for quad in ctx.view.scan(step.triple.const_pattern()) {
+            let key: Vec<u64> = positions.iter().map(|&p| quad[p]).collect();
+            table.entry(key).or_default().push(quad);
+        }
+    }
+    table
+}
+
+/// Lazily-built hash join: the build side is materialised into a hash
+/// table on first use — at most once per execution, shared across every
+/// worker and re-evaluation of the step — then probed per input row.
 struct HashJoinIter<'it, 'a> {
     ctx: &'it EvalCtx<'a>,
     step: &'it Step,
     join_slots: &'it [usize],
     input: BoxIter<'it>,
-    table: Option<HashMap<Vec<u64>, Vec<quadstore::EncodedQuad>>>,
+    cell: Arc<OnceLock<BuildTable>>,
     pending: std::vec::IntoIter<Row>,
 }
 
@@ -787,19 +994,8 @@ impl<'it, 'a> HashJoinIter<'it, 'a> {
         join_slots: &'it [usize],
         input: BoxIter<'it>,
     ) -> Self {
-        HashJoinIter { ctx, step, join_slots, input, table: None, pending: Vec::new().into_iter() }
-    }
-
-    fn build(&mut self) {
-        let mut table: HashMap<Vec<u64>, Vec<quadstore::EncodedQuad>> = HashMap::new();
-        if !self.step.triple.unsatisfiable() {
-            let positions = key_positions(&self.step.triple, self.join_slots);
-            for quad in self.ctx.view.scan(self.step.triple.const_pattern()) {
-                let key: Vec<u64> = positions.iter().map(|&p| quad[p]).collect();
-                table.entry(key).or_default().push(quad);
-            }
-        }
-        self.table = Some(table);
+        let cell = ctx.build_cell(step);
+        HashJoinIter { ctx, step, join_slots, input, cell, pending: Vec::new().into_iter() }
     }
 }
 
@@ -810,9 +1006,6 @@ impl Iterator for HashJoinIter<'_, '_> {
         loop {
             if let Some(row) = self.pending.next() {
                 return Some(row);
-            }
-            if self.table.is_none() {
-                self.build();
             }
             let row = self.input.next()?;
             // Join keys are usually bound — but OPTIONAL/VALUES can leave a
@@ -846,7 +1039,8 @@ impl Iterator for HashJoinIter<'_, '_> {
                 .iter()
                 .map(|&s| row[s].expect("checked above"))
                 .collect();
-            let table = self.table.as_ref().expect("built above");
+            let (ctx, step, join_slots) = (self.ctx, self.step, self.join_slots);
+            let table = self.cell.get_or_init(|| build_table(ctx, step, join_slots));
             if let Some(quads) = table.get(&key) {
                 let mut out = Vec::with_capacity(quads.len());
                 for quad in quads {
@@ -986,5 +1180,1215 @@ fn extend_pos(row: &mut Row, pos: &CPos, value: u64) -> bool {
         },
         CPos::Const(_, Some(id)) => id.0 == value,
         CPos::Const(_, None) => false,
+    }
+}
+
+/// [`extend_row`] without the clone: binds the quad's values into `row`
+/// directly and returns a bitmask (S=1, P=2, O=4, G=8) of the positions
+/// whose slot was newly bound, for [`undo_extend`]. On a consistency
+/// mismatch the row is restored and `None` returned.
+fn extend_in_place(row: &mut Row, triple: &CTriple, quad: &quadstore::EncodedQuad) -> Option<u8> {
+    let mut mask = 0u8;
+    let positions: [(&CPos, u64, u8); 3] = [
+        (&triple.s, quad[quadstore::ids::S], 1),
+        (&triple.p, quad[quadstore::ids::P], 2),
+        (&triple.o, quad[quadstore::ids::O], 4),
+    ];
+    for (pos, value, bit) in positions {
+        match pos {
+            CPos::Var(slot) => match row[*slot] {
+                Some(existing) => {
+                    if existing != value {
+                        undo_extend(row, triple, mask);
+                        return None;
+                    }
+                }
+                None => {
+                    row[*slot] = Some(value);
+                    mask |= bit;
+                }
+            },
+            CPos::Const(_, Some(id)) => {
+                if id.0 != value {
+                    undo_extend(row, triple, mask);
+                    return None;
+                }
+            }
+            CPos::Const(_, None) => {}
+        }
+    }
+    if let CGraph::Var(slot) = &triple.g {
+        let value = quad[quadstore::ids::G];
+        match row[*slot] {
+            Some(existing) => {
+                if existing != value {
+                    undo_extend(row, triple, mask);
+                    return None;
+                }
+            }
+            None => {
+                row[*slot] = Some(value);
+                mask |= 8;
+            }
+        }
+    }
+    Some(mask)
+}
+
+/// Clears the slots that [`extend_in_place`] newly bound.
+fn undo_extend(row: &mut Row, triple: &CTriple, mask: u8) {
+    if mask & 1 != 0 {
+        if let CPos::Var(s) = &triple.s {
+            row[*s] = None;
+        }
+    }
+    if mask & 2 != 0 {
+        if let CPos::Var(s) = &triple.p {
+            row[*s] = None;
+        }
+    }
+    if mask & 4 != 0 {
+        if let CPos::Var(s) = &triple.o {
+            row[*s] = None;
+        }
+    }
+    if mask & 8 != 0 {
+        if let CGraph::Var(s) = &triple.g {
+            row[*s] = None;
+        }
+    }
+}
+
+/// True when probing this triple with this row cannot bind any new slot —
+/// every position is a constant or an already-bound variable. Such a step
+/// is a pure existence/multiplicity check: each matching quad passes the
+/// input row through unchanged, so no extension or clone is needed.
+fn binds_nothing(row: &Row, triple: &CTriple) -> bool {
+    let bound = |pos: &CPos| match pos {
+        CPos::Var(slot) => row[*slot].is_some(),
+        CPos::Const(..) => true,
+    };
+    bound(&triple.s)
+        && bound(&triple.p)
+        && bound(&triple.o)
+        && match &triple.g {
+            CGraph::Var(slot) => row[*slot].is_some(),
+            _ => true,
+        }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel execution.
+//
+// The driving index scan of an eligible plan is split into fixed-size
+// morsels (contiguous chunks of the chosen sorted index, plus per-member
+// DML-delta morsels). Workers claim morsels from a shared counter, run the
+// downstream pipeline batch-at-a-time on each morsel, and the outputs are
+// concatenated in morsel order — which reproduces the sequential row order
+// exactly, because every operator admitted by `parallel_safe` is
+// "order-local": its output order depends only on its input order.
+// ---------------------------------------------------------------------------
+
+/// One pipeline stage applied to each morsel's rows after the driving scan.
+#[derive(Clone, Copy)]
+enum Stage<'p> {
+    /// Remaining steps of the driving Steps node.
+    Steps(&'p [Step]),
+    /// A sibling node of the driving node inside a Join.
+    Node(&'p Node),
+    /// A FILTER wrapper unwrapped from around the root.
+    Filters(&'p [CExpr]),
+}
+
+/// A root plan rewritten for morsel-parallel execution: a base row (from a
+/// leading one-row VALUES pin), a driving index scan, and the downstream
+/// stages every morsel's rows flow through.
+struct DrivePlan<'p> {
+    base: Row,
+    drive: &'p Step,
+    stages: Vec<Stage<'p>>,
+    /// Output-order preference for the driving scan (quad position 0..=3):
+    /// the grouped path sets this to the position its group key lives at,
+    /// so tying indexes are broken towards group-key-sorted output and the
+    /// run-length accumulator sees long key runs. `None` (the ordered
+    /// row-producing path) keeps the sequential index choice — mandatory
+    /// there, since row order must match the streaming executor exactly.
+    prefer: Option<usize>,
+}
+
+/// Whether a node downstream of the driving scan preserves morsel
+/// equivalence: evaluating it per-morsel and concatenating must equal
+/// evaluating it over the whole input.
+///
+/// UNION fails (it re-orders: all-of-a then all-of-b over the *whole*
+/// input). A sub-select fails because its join-key selection inspects the
+/// whole input batch. OPTIONAL only needs a safe left side — its right
+/// side is probed one row at a time in both paths.
+fn parallel_safe(node: &Node) -> bool {
+    match node {
+        Node::Steps(_) | Node::Path(_) | Node::Values { .. } | Node::Extend(..) => true,
+        Node::Minus(_) => true,
+        Node::SubSelect(_) => false,
+        Node::Join(children) => children.iter().all(parallel_safe),
+        Node::Filter(_, inner) => parallel_safe(inner),
+        Node::Optional(a, _) => parallel_safe(a),
+        Node::Union(..) => false,
+    }
+}
+
+/// True when the node is a UNION, possibly under FILTER wrappers.
+fn root_union(node: &Node) -> bool {
+    match node {
+        Node::Union(..) => true,
+        Node::Filter(_, inner) => root_union(inner),
+        _ => false,
+    }
+}
+
+/// Tries to rewrite a root node into a morsel-drivable plan. The root must
+/// be (under optional FILTER wrappers) a non-empty Steps node, or a Join
+/// of an optional leading one-row VALUES pin, a non-empty Steps node, and
+/// `parallel_safe` siblings. The driving step must be an index scan.
+fn drive_plan<'p>(ctx: &EvalCtx<'_>, node: &'p Node) -> Option<DrivePlan<'p>> {
+    let mut filters: Vec<&'p [CExpr]> = Vec::new();
+    let mut cur = node;
+    while let Node::Filter(f, inner) = cur {
+        filters.push(f);
+        cur = inner;
+    }
+    let mut base = ctx.empty_row();
+    let mut stages: Vec<Stage<'p>> = Vec::new();
+    let drive: &'p Step;
+    match cur {
+        Node::Steps(steps) if !steps.is_empty() => {
+            drive = &steps[0];
+            if steps.len() > 1 {
+                stages.push(Stage::Steps(&steps[1..]));
+            }
+        }
+        Node::Join(children) if !children.is_empty() => {
+            let mut idx = 0;
+            if let Node::Values { slots, rows } = &children[0] {
+                // The constant-equality pushdown plants a one-row VALUES
+                // pin ahead of the steps; fold it into the base row.
+                if rows.len() != 1 {
+                    return None;
+                }
+                for (&slot, t) in slots.iter().zip(&rows[0]) {
+                    if let Some(t) = t {
+                        base[slot] = Some(ctx.intern_term(t));
+                    }
+                }
+                idx = 1;
+            }
+            let steps = match children.get(idx) {
+                Some(Node::Steps(steps)) if !steps.is_empty() => steps,
+                _ => return None,
+            };
+            drive = &steps[0];
+            if steps.len() > 1 {
+                stages.push(Stage::Steps(&steps[1..]));
+            }
+            for child in &children[idx + 1..] {
+                if !parallel_safe(child) {
+                    return None;
+                }
+                stages.push(Stage::Node(child));
+            }
+        }
+        _ => return None,
+    }
+    if !matches!(drive.strategy, Strategy::IndexNlj) {
+        return None;
+    }
+    // Filters run last, innermost first (matching the nesting order).
+    for f in filters.into_iter().rev() {
+        stages.push(Stage::Filters(f));
+    }
+    Some(DrivePlan { base, drive, stages, prefer: None })
+}
+
+/// Produces the root's solution rows in exact sequential order, running
+/// eligible (sub-)plans on the morsel-parallel executor. Root UNIONs are
+/// split: each branch is produced fully (parallel where possible) and the
+/// outputs concatenated, which is precisely the sequential order.
+fn par_produce(ctx: &EvalCtx<'_>, root: &Node) -> Vec<Row> {
+    par_produce_stages(ctx, root, &[])
+}
+
+fn par_produce_stages<'p>(ctx: &EvalCtx<'_>, node: &'p Node, suffix: &[Stage<'p>]) -> Vec<Row> {
+    match node {
+        Node::Union(a, b) => {
+            let mut out = par_produce_stages(ctx, a, suffix);
+            out.extend(par_produce_stages(ctx, b, suffix));
+            out
+        }
+        Node::Filter(filters, inner) if root_union(inner) => {
+            let mut with_filter: Vec<Stage<'p>> = vec![Stage::Filters(filters)];
+            with_filter.extend_from_slice(suffix);
+            par_produce_stages(ctx, inner, &with_filter)
+        }
+        _ => match drive_plan(ctx, node) {
+            Some(mut plan) => {
+                plan.stages.extend_from_slice(suffix);
+                run_morsels(ctx, &plan)
+            }
+            None => {
+                // Not drivable: evaluate this branch sequentially (the
+                // suffix can only hold filters unwrapped from above).
+                let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
+                let mut rows: Vec<Row> = eval_node(ctx, node, input).collect();
+                for stage in suffix {
+                    rows = apply_stage(ctx, stage, rows);
+                }
+                rows
+            }
+        },
+    }
+}
+
+/// Runs one drive plan across all its morsels, merging worker outputs in
+/// morsel order.
+fn run_morsels(ctx: &EvalCtx<'_>, plan: &DrivePlan<'_>) -> Vec<Row> {
+    let pattern = match probe_pattern(&plan.base, &plan.drive.triple) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let ops = build_walk_ops(ctx, plan);
+    let run_one = |morsel: &Morsel| -> Vec<Row> {
+        match &ops {
+            Some(ops) => {
+                let mut out = Vec::new();
+                let mut st = WalkState::default();
+                let mut sink = |row: &Row| out.push(row.clone());
+                walk_morsel(ctx, plan, ops, pattern, morsel, &mut st, &mut sink);
+                out
+            }
+            None => run_one_morsel(ctx, plan, pattern, morsel),
+        }
+    };
+    let morsels = ctx.view.plan_morsels(&pattern, ctx.morsel_size);
+    let workers = ctx.threads.min(morsels.len()).max(1);
+    if workers <= 1 {
+        let mut out = Vec::new();
+        for morsel in &morsels {
+            if ctx.is_exhausted() {
+                break;
+            }
+            out.extend(run_one(morsel));
+        }
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, Vec<Row>)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<Row>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= morsels.len() || ctx.is_exhausted() {
+                            break;
+                        }
+                        local.push((i, run_one(&morsels[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            buckets.push(handle.join().expect("morsel worker panicked"));
+        }
+    });
+    let mut indexed: Vec<(usize, Vec<Row>)> = buckets.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().flat_map(|(_, rows)| rows).collect()
+}
+
+/// Drives one morsel's scan and pushes its rows through the plan stages.
+fn run_one_morsel(
+    ctx: &EvalCtx<'_>,
+    plan: &DrivePlan<'_>,
+    pattern: QuadPattern,
+    morsel: &Morsel,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for quad in ctx.view.scan_morsel_ordered(pattern, morsel, plan.prefer) {
+        if let Some(new_row) = extend_row(&plan.base, &plan.drive.triple, &quad) {
+            rows.push(new_row);
+        }
+    }
+    if !rows.is_empty() && !ctx.charge(rows.len() as u64) {
+        return rows;
+    }
+    for stage in &plan.stages {
+        if rows.is_empty() || ctx.is_exhausted() {
+            break;
+        }
+        rows = apply_stage(ctx, stage, rows);
+    }
+    rows
+}
+
+fn apply_stage(ctx: &EvalCtx<'_>, stage: &Stage<'_>, rows: Vec<Row>) -> Vec<Row> {
+    match stage {
+        Stage::Steps(steps) => {
+            let mut rows = rows;
+            for step in *steps {
+                if rows.is_empty() {
+                    break;
+                }
+                rows = eval_step_batch(ctx, step, rows);
+            }
+            rows
+        }
+        Stage::Node(node) => eval_node_batch(ctx, node, rows),
+        Stage::Filters(filters) => rows
+            .into_iter()
+            .filter(|row| {
+                filters.iter().all(|f| {
+                    let env = RowEnv { ctx, row, aggs: None };
+                    f.eval_filter(&env)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Batch mirror of [`eval_node`]: given the same input rows it produces
+/// the same output rows in the same order, without per-row boxed-iterator
+/// dispatch. Used by the morsel pipeline.
+fn eval_node_batch(ctx: &EvalCtx<'_>, node: &Node, rows: Vec<Row>) -> Vec<Row> {
+    match node {
+        Node::Steps(steps) => {
+            let mut rows = rows;
+            for step in steps {
+                if rows.is_empty() {
+                    break;
+                }
+                rows = eval_step_batch(ctx, step, rows);
+            }
+            rows
+        }
+        Node::Path(pstep) => {
+            let mut out = Vec::new();
+            'rows: for row in rows {
+                let s_val = pos_value(&row, &pstep.s);
+                let o_val = pos_value(&row, &pstep.o);
+                let bad = |v: &Option<Option<u64>>| matches!(v, Some(None));
+                if bad(&s_val) || bad(&o_val) {
+                    continue;
+                }
+                let pairs = path::eval_path_pairs(
+                    &ctx.view,
+                    &pstep.path,
+                    pstep.graph,
+                    s_val.flatten(),
+                    o_val.flatten(),
+                );
+                for (s, o) in pairs {
+                    let mut new_row = row.clone();
+                    if extend_pos(&mut new_row, &pstep.s, s)
+                        && extend_pos(&mut new_row, &pstep.o, o)
+                    {
+                        if !ctx.charge(1) {
+                            break 'rows;
+                        }
+                        out.push(new_row);
+                    }
+                }
+            }
+            out
+        }
+        Node::Join(children) => {
+            let mut rows = rows;
+            for child in children {
+                if rows.is_empty() {
+                    break;
+                }
+                rows = eval_node_batch(ctx, child, rows);
+            }
+            rows
+        }
+        Node::Filter(filters, inner) => {
+            let rows = eval_node_batch(ctx, inner, rows);
+            rows.into_iter()
+                .filter(|row| {
+                    filters.iter().all(|f| {
+                        let env = RowEnv { ctx, row, aggs: None };
+                        f.eval_filter(&env)
+                    })
+                })
+                .collect()
+        }
+        Node::Union(a, b) => {
+            let right_input = rows.clone();
+            let mut out = eval_node_batch(ctx, a, rows);
+            out.extend(eval_node_batch(ctx, b, right_input));
+            out
+        }
+        Node::Optional(a, b) => {
+            let left = eval_node_batch(ctx, a, rows);
+            let mut out = Vec::new();
+            for row in left {
+                let matches = eval_node_batch(ctx, b, vec![row.clone()]);
+                if matches.is_empty() {
+                    out.push(row);
+                } else {
+                    out.extend(matches);
+                }
+            }
+            out
+        }
+        Node::SubSelect(sel) => {
+            let inner = ctx.shared_select_rows(sel);
+            let input_rows = rows;
+            let slots = sel.projected_slots();
+            let join_slots: Vec<usize> = slots
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    !input_rows.is_empty() && input_rows.iter().all(|r| r[s].is_some())
+                })
+                .collect();
+            let mut table: HashMap<Vec<u64>, Vec<Row>> = HashMap::new();
+            for irow in inner {
+                let key: Option<Vec<u64>> = join_slots.iter().map(|&s| irow[s]).collect();
+                if let Some(key) = key {
+                    table.entry(key).or_default().push(irow);
+                }
+            }
+            let mut out = Vec::new();
+            for row in input_rows {
+                let key: Vec<u64> = join_slots
+                    .iter()
+                    .map(|&s| row[s].expect("join slot bound in all input rows"))
+                    .collect();
+                if let Some(matches) = table.get(&key) {
+                    'matches: for m in matches {
+                        let mut merged = row.clone();
+                        for &s in &slots {
+                            match (merged[s], m[s]) {
+                                (Some(a), Some(b)) if a != b => continue 'matches,
+                                (None, b) => merged[s] = b,
+                                _ => {}
+                            }
+                        }
+                        out.push(merged);
+                    }
+                }
+            }
+            out
+        }
+        Node::Values { slots, rows: vrows } => {
+            let resolved: Vec<Vec<Option<u64>>> = vrows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|t| t.as_ref().map(|t| ctx.intern_term(t)))
+                        .collect()
+                })
+                .collect();
+            let mut out = Vec::new();
+            for row in rows {
+                'vrows: for vrow in &resolved {
+                    let mut merged = row.clone();
+                    for (&slot, value) in slots.iter().zip(vrow) {
+                        if let Some(v) = value {
+                            match merged[slot] {
+                                Some(existing) if existing != *v => continue 'vrows,
+                                _ => merged[slot] = Some(*v),
+                            }
+                        }
+                    }
+                    out.push(merged);
+                }
+            }
+            out
+        }
+        Node::Extend(slot, expr) => {
+            let mut rows = rows;
+            for row in &mut rows {
+                let value = {
+                    let env = RowEnv { ctx, row, aggs: None };
+                    expr.eval(&env)
+                };
+                row[*slot] = value.map(|v| ctx.intern_value(v));
+            }
+            rows
+        }
+        Node::Minus(inner) => {
+            let right: Vec<Row> = ctx.shared_minus_rows(inner);
+            rows.into_iter()
+                .filter(|row| {
+                    !right.iter().any(|r| {
+                        let mut shared = false;
+                        for (a, b) in row.iter().zip(r.iter()) {
+                            if let (Some(x), Some(y)) = (a, b) {
+                                if x != y {
+                                    return false;
+                                }
+                                shared = true;
+                            }
+                        }
+                        shared
+                    })
+                })
+                .collect()
+        }
+    }
+}
+
+/// Batch mirror of [`eval_step`].
+fn eval_step_batch(ctx: &EvalCtx<'_>, step: &Step, rows: Vec<Row>) -> Vec<Row> {
+    match &step.strategy {
+        Strategy::IndexNlj => {
+            let mut out = Vec::new();
+            'rows: for row in rows {
+                if let Some(pattern) = probe_pattern(&row, &step.triple) {
+                    if binds_nothing(&row, &step.triple) {
+                        // Existence/multiplicity check: every match passes
+                        // the row through unchanged (a member-duplicated
+                        // quad matches more than once, like in the
+                        // streaming path), so the row is moved, not cloned.
+                        let n = ctx.view.count_matches(&pattern);
+                        if n > 0 {
+                            for _ in 1..n {
+                                out.push(row.clone());
+                            }
+                            out.push(row);
+                            if !ctx.charge(n as u64) {
+                                break 'rows;
+                            }
+                        }
+                        continue;
+                    }
+                    let before = out.len();
+                    for quad in ctx.view.probe(pattern) {
+                        if let Some(new_row) = extend_row(&row, &step.triple, &quad) {
+                            out.push(new_row);
+                        }
+                    }
+                    let produced = (out.len() - before) as u64;
+                    if produced > 0 && !ctx.charge(produced) {
+                        break 'rows;
+                    }
+                }
+            }
+            out
+        }
+        Strategy::HashJoin { join_slots } => {
+            let cell = ctx.build_cell(step);
+            let mut out = Vec::new();
+            'rows: for row in rows {
+                // Mirror the streaming hash join: computed IDs in a join
+                // slot can never match stored quads; an unbound join slot
+                // falls back to a per-row index scan.
+                if join_slots
+                    .iter()
+                    .any(|&s| matches!(row[s], Some(id) if id & COMPUTED_BIT != 0))
+                {
+                    continue;
+                }
+                if join_slots.iter().any(|&s| row[s].is_none()) {
+                    if let Some(pattern) = probe_pattern(&row, &step.triple) {
+                        let before = out.len();
+                        for quad in ctx.view.probe(pattern) {
+                            if let Some(new_row) = extend_row(&row, &step.triple, &quad) {
+                                out.push(new_row);
+                            }
+                        }
+                        let produced = (out.len() - before) as u64;
+                        if produced > 0 && !ctx.charge(produced) {
+                            break 'rows;
+                        }
+                    }
+                    continue;
+                }
+                let table = cell.get_or_init(|| build_table(ctx, step, join_slots));
+                let key: Vec<u64> = join_slots
+                    .iter()
+                    .map(|&s| row[s].expect("checked above"))
+                    .collect();
+                if let Some(quads) = table.get(&key) {
+                    let before = out.len();
+                    for quad in quads {
+                        if let Some(new_row) = extend_row(&row, &step.triple, quad) {
+                            out.push(new_row);
+                        }
+                    }
+                    let produced = (out.len() - before) as u64;
+                    if produced > 0 && !ctx.charge(produced) {
+                        break 'rows;
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The zero-allocation pipeline walk.
+//
+// When every stage after the driving scan is element-wise (steps and
+// filters — no Node stages), the whole pipeline runs depth-first over ONE
+// scratch row per worker: each join step binds its quad's values into the
+// row in place, recurses, and undoes its bindings. No intermediate row is
+// ever cloned; only the sink at the bottom sees (and may copy) finished
+// rows. Depth-first enumeration visits final rows in exactly the
+// sequential streaming order, so morsel-order merging still reproduces it.
+// ---------------------------------------------------------------------------
+
+/// One element-wise pipeline operation, pre-resolved for the walk.
+enum WalkOp<'p> {
+    /// An index nested-loop join step.
+    Nlj(&'p Step),
+    /// A hash join step with its shared build-side cell.
+    Hash { step: &'p Step, join_slots: &'p [usize], cell: Arc<OnceLock<BuildTable>> },
+    /// A FILTER conjunction.
+    Filter(&'p [CExpr]),
+}
+
+/// Flattens a drive plan's stages into walk operations, or `None` when a
+/// stage is not element-wise (a sibling Node — those need batch inputs).
+fn build_walk_ops<'p>(ctx: &EvalCtx<'_>, plan: &DrivePlan<'p>) -> Option<Vec<WalkOp<'p>>> {
+    let mut ops = Vec::new();
+    for stage in &plan.stages {
+        match stage {
+            Stage::Steps(steps) => {
+                for step in *steps {
+                    match &step.strategy {
+                        Strategy::IndexNlj => ops.push(WalkOp::Nlj(step)),
+                        Strategy::HashJoin { join_slots } => ops.push(WalkOp::Hash {
+                            step,
+                            join_slots,
+                            cell: ctx.build_cell(step),
+                        }),
+                    }
+                }
+            }
+            Stage::Filters(filters) => ops.push(WalkOp::Filter(filters)),
+            Stage::Node(_) => return None,
+        }
+    }
+    Some(ops)
+}
+
+/// How many produced rows a walk accumulates before charging the context
+/// (one atomic op per chunk instead of per row; totals are unchanged).
+const WALK_CHARGE_CHUNK: u64 = 1024;
+
+/// Per-worker walk accounting: rows produced since the last charge, and a
+/// sticky stop flag raised when a resource limit fires.
+#[derive(Default)]
+struct WalkState {
+    pending: u64,
+    stop: bool,
+    /// Per-op-depth memo of the last probe: the driving scan is
+    /// index-sorted, so consecutive rows very often resolve a downstream
+    /// step to the *same* probe pattern (e.g. the triangle query's middle
+    /// edge repeats once per in-group neighbour). A hit replays the
+    /// materialised matches and skips the index binary searches entirely.
+    /// Keyed by pattern value only — the store is immutable during a
+    /// query, so equal patterns always yield equal match lists.
+    memo: Vec<ProbeMemo>,
+}
+
+#[derive(Default)]
+struct ProbeMemo {
+    pattern: Option<QuadPattern>,
+    quads: Vec<quadstore::EncodedQuad>,
+}
+
+impl WalkState {
+    fn produce(&mut self, ctx: &EvalCtx<'_>, n: u64) -> bool {
+        if self.stop {
+            return false;
+        }
+        self.pending += n;
+        if self.pending >= WALK_CHARGE_CHUNK {
+            let n = std::mem::take(&mut self.pending);
+            if !ctx.charge(n) {
+                self.stop = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    fn flush(&mut self, ctx: &EvalCtx<'_>) {
+        let n = std::mem::take(&mut self.pending);
+        if n > 0 && !ctx.charge(n) {
+            self.stop = true;
+        }
+    }
+}
+
+/// Runs the remaining operations depth-first over the scratch row,
+/// invoking `sink` once per finished pipeline row.
+fn walk(
+    ctx: &EvalCtx<'_>,
+    ops: &[WalkOp<'_>],
+    depth: usize,
+    row: &mut Row,
+    st: &mut WalkState,
+    sink: &mut dyn FnMut(&Row),
+) {
+    let Some(op) = ops.get(depth) else {
+        sink(row);
+        return;
+    };
+    match op {
+        WalkOp::Filter(filters) => {
+            let pass = filters.iter().all(|f| {
+                let env = RowEnv { ctx, row: &*row, aggs: None };
+                f.eval_filter(&env)
+            });
+            if pass {
+                walk(ctx, ops, depth + 1, row, st, sink);
+            }
+        }
+        WalkOp::Nlj(step) => walk_probe(ctx, ops, depth, step, row, st, sink),
+        WalkOp::Hash { step, join_slots, cell } => {
+            // Mirrors the batch hash join: computed IDs never match stored
+            // quads; an unbound join slot falls back to an index probe.
+            if join_slots
+                .iter()
+                .any(|&s| matches!(row[s], Some(id) if id & COMPUTED_BIT != 0))
+            {
+                return;
+            }
+            if join_slots.iter().any(|&s| row[s].is_none()) {
+                walk_probe(ctx, ops, depth, step, row, st, sink);
+                return;
+            }
+            let table = cell.get_or_init(|| build_table(ctx, step, join_slots));
+            // Key on the stack: a triple has at most four variable
+            // positions, and `Vec<u64>: Borrow<[u64]>` lets the map be
+            // probed with a slice — no allocation per input row.
+            let mut key = [0u64; 4];
+            for (dst, &s) in key.iter_mut().zip(join_slots.iter()) {
+                *dst = row[s].expect("checked above");
+            }
+            let Some(quads) = table.get(&key[..join_slots.len()]) else { return };
+            for quad in quads {
+                if st.stop {
+                    return;
+                }
+                if let Some(mask) = extend_in_place(row, &step.triple, quad) {
+                    let ok = st.produce(ctx, 1);
+                    if ok {
+                        walk(ctx, ops, depth + 1, row, st, sink);
+                    }
+                    undo_extend(row, &step.triple, mask);
+                    if !ok {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One index probe of the walk: extend in place per matching quad, or —
+/// when the row already binds every position — pass the row through once
+/// per match without touching it.
+fn walk_probe(
+    ctx: &EvalCtx<'_>,
+    ops: &[WalkOp<'_>],
+    depth: usize,
+    step: &Step,
+    row: &mut Row,
+    st: &mut WalkState,
+    sink: &mut dyn FnMut(&Row),
+) {
+    let Some(pattern) = probe_pattern(row, &step.triple) else { return };
+    if binds_nothing(row, &step.triple) {
+        let n = ctx.view.count_matches(&pattern);
+        if n == 0 {
+            return;
+        }
+        if !st.produce(ctx, n as u64) {
+            return;
+        }
+        for _ in 0..n {
+            if st.stop {
+                return;
+            }
+            walk(ctx, ops, depth + 1, row, st, sink);
+        }
+        return;
+    }
+    if st.memo.len() <= depth {
+        st.memo.resize_with(depth + 1, ProbeMemo::default);
+    }
+    if st.memo[depth].pattern != Some(pattern) {
+        let mut quads = std::mem::take(&mut st.memo[depth].quads);
+        quads.clear();
+        quads.extend(ctx.view.probe(pattern));
+        st.memo[depth] = ProbeMemo { pattern: Some(pattern), quads };
+    }
+    // Take the match list out of the memo while recursing (deeper levels
+    // borrow `st` for their own memo slots), and put it back after.
+    let quads = std::mem::take(&mut st.memo[depth].quads);
+    for quad in &quads {
+        if st.stop {
+            break;
+        }
+        if let Some(mask) = extend_in_place(row, &step.triple, quad) {
+            let ok = st.produce(ctx, 1);
+            if ok {
+                walk(ctx, ops, depth + 1, row, st, sink);
+            }
+            undo_extend(row, &step.triple, mask);
+            if !ok {
+                break;
+            }
+        }
+    }
+    st.memo[depth].quads = quads;
+}
+
+/// Walks one morsel of a drive plan, feeding finished rows to `sink`.
+fn walk_morsel(
+    ctx: &EvalCtx<'_>,
+    plan: &DrivePlan<'_>,
+    ops: &[WalkOp<'_>],
+    pattern: QuadPattern,
+    morsel: &Morsel,
+    st: &mut WalkState,
+    sink: &mut dyn FnMut(&Row),
+) {
+    let mut row = plan.base.clone();
+    for quad in ctx.view.scan_morsel_ordered(pattern, morsel, plan.prefer) {
+        if st.stop {
+            break;
+        }
+        if let Some(mask) = extend_in_place(&mut row, &plan.drive.triple, &quad) {
+            let ok = st.produce(ctx, 1);
+            if ok {
+                walk(ctx, ops, 0, &mut row, st, sink);
+            }
+            undo_extend(&mut row, &plan.drive.triple, mask);
+            if !ok {
+                break;
+            }
+        }
+    }
+    st.flush(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Fused parallel aggregation.
+//
+// When every aggregate merges losslessly across workers (the COUNT
+// family: partial counts sum, partial distinct-sets union), grouping runs
+// inside the morsel workers and only per-group partial states are merged —
+// no global row materialisation. Order-sensitive aggregates (MIN/MAX tie
+// on first-encountered among SPARQL-equal values; SUM/AVG float addition
+// is not associative) take the ordered path instead.
+// ---------------------------------------------------------------------------
+
+/// Per-aggregate fast path used inside morsel workers.
+enum FastAgg {
+    /// COUNT(*): count rows.
+    CountAll,
+    /// COUNT(?v): count rows where the slot is bound.
+    CountSlot(usize),
+    /// Any other COUNT: evaluate the expression like the sequential loop.
+    Generic,
+}
+
+/// The fused-path accumulator for one aggregate, or `None` when the
+/// aggregate cannot be merged across workers.
+fn fast_agg(agg: &CAggregate) -> Option<FastAgg> {
+    match agg {
+        CAggregate::CountAll => Some(FastAgg::CountAll),
+        CAggregate::Count { distinct: false, expr: CExpr::Var(slot) } => {
+            Some(FastAgg::CountSlot(*slot))
+        }
+        CAggregate::Count { .. } => Some(FastAgg::Generic),
+        _ => None,
+    }
+}
+
+/// A multiply-rotate hasher for the fused path's internal group maps.
+/// Far cheaper than the default SipHash on the short term-ID keys these
+/// maps use — and safe here, because the keys are dictionary IDs minted
+/// by the store, not attacker-controlled byte strings.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback for whatever the std Hash impls feed us that is
+        // not a u64 (length prefixes, Option discriminants, ...).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(26);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+}
+
+type IdHashState = std::hash::BuildHasherDefault<IdHasher>;
+
+/// One worker's partial aggregation state.
+#[derive(Default)]
+struct GroupedPartial {
+    groups: HashMap<Vec<Option<u64>>, Vec<Acc>, IdHashState>,
+    saw_rows: bool,
+}
+
+/// Splits a root into drive plans, one per UNION branch (duplicates and
+/// multiplicities are preserved — each input row flows through every
+/// branch exactly once, so the aggregated multiset is unchanged). Returns
+/// `false` if any branch is not drivable.
+fn collect_plans<'p>(
+    ctx: &EvalCtx<'_>,
+    node: &'p Node,
+    suffix: &[Stage<'p>],
+    out: &mut Vec<DrivePlan<'p>>,
+) -> bool {
+    match node {
+        Node::Union(a, b) => {
+            collect_plans(ctx, a, suffix, out) && collect_plans(ctx, b, suffix, out)
+        }
+        Node::Filter(filters, inner) if root_union(inner) => {
+            let mut with_filter: Vec<Stage<'p>> = vec![Stage::Filters(filters)];
+            with_filter.extend_from_slice(suffix);
+            collect_plans(ctx, inner, &with_filter, out)
+        }
+        _ => match drive_plan(ctx, node) {
+            Some(mut plan) => {
+                plan.stages.extend_from_slice(suffix);
+                out.push(plan);
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+/// The quad position (0=S, 1=P, 2=O, 3=G) at which the driving triple
+/// binds `slot`, when it does and the slot is still free in the base row —
+/// i.e. the position whose index sort order would emit rows grouped by
+/// that slot. Downstream stages only *extend* rows, so a slot bound by the
+/// drive keeps its value (and its run structure) through the pipeline.
+fn drive_sort_preference(plan: &DrivePlan<'_>, slot: usize) -> Option<usize> {
+    if plan.base[slot].is_some() {
+        return None;
+    }
+    let t = &plan.drive.triple;
+    if matches!(t.s, CPos::Var(v) if v == slot) {
+        Some(quadstore::ids::S)
+    } else if matches!(t.p, CPos::Var(v) if v == slot) {
+        Some(quadstore::ids::P)
+    } else if matches!(t.o, CPos::Var(v) if v == slot) {
+        Some(quadstore::ids::O)
+    } else if matches!(t.g, CGraph::Var(v) if v == slot) {
+        Some(quadstore::ids::G)
+    } else {
+        None
+    }
+}
+
+/// Runs the fused parallel aggregation, or `None` when the aggregates or
+/// the plan shape rule it out.
+fn par_grouped(ctx: &EvalCtx<'_>, sel: &CSelect) -> Option<GroupedPartial> {
+    let fast: Vec<FastAgg> = sel.aggregates.iter().map(fast_agg).collect::<Option<_>>()?;
+    let mut plans: Vec<DrivePlan<'_>> = Vec::new();
+    if !collect_plans(ctx, &sel.root, &[], &mut plans) {
+        return None;
+    }
+    // Group output is a set of (key, accumulator) pairs — insensitive to
+    // input row order — so the driving scan is free to pick, among tying
+    // indexes, one sorted by the group key. That turns the accumulator's
+    // per-row hash lookups into one lookup per key run (e.g. the
+    // out-degree query groups by subject: PSCGM feeds subject-sorted rows
+    // where the default PCSGM choice would feed object-sorted ones).
+    if let [slot] = sel.group_slots[..] {
+        for plan in &mut plans {
+            plan.prefer = drive_sort_preference(plan, slot);
+        }
+    }
+    // Flatten every plan's morsels into one shared task list.
+    let mut patterns: Vec<Option<QuadPattern>> = Vec::with_capacity(plans.len());
+    let mut tasks: Vec<(usize, Morsel)> = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        let pattern = probe_pattern(&plan.base, &plan.drive.triple);
+        if let Some(p) = pattern {
+            for morsel in ctx.view.plan_morsels_ordered(&p, ctx.morsel_size, plan.prefer) {
+                tasks.push((i, morsel));
+            }
+        }
+        patterns.push(pattern);
+    }
+    // Per-plan walk programs: element-wise pipelines aggregate straight
+    // out of the depth-first walk with zero row materialisation.
+    let walk_ops: Vec<Option<Vec<WalkOp<'_>>>> =
+        plans.iter().map(|p| build_walk_ops(ctx, p)).collect();
+    let run_task = |t: usize, sink: &mut RunSink, st: &mut WalkState| {
+        let (i, morsel) = &tasks[t];
+        let plan = &plans[*i];
+        let pattern = patterns[*i].expect("task implies pattern");
+        match &walk_ops[*i] {
+            Some(ops) => {
+                let mut feed = |row: &Row| sink.push(ctx, sel, &fast, row);
+                walk_morsel(ctx, plan, ops, pattern, morsel, st, &mut feed);
+            }
+            None => {
+                for row in run_one_morsel(ctx, plan, pattern, morsel) {
+                    sink.push(ctx, sel, &fast, &row);
+                }
+            }
+        }
+    };
+    let workers = ctx.threads.min(tasks.len()).max(1);
+    let mut partials: Vec<GroupedPartial> = Vec::new();
+    if workers <= 1 {
+        let mut sink = RunSink::default();
+        let mut st = WalkState::default();
+        for t in 0..tasks.len() {
+            if ctx.is_exhausted() {
+                break;
+            }
+            run_task(t, &mut sink, &mut st);
+        }
+        partials.push(sink.finish());
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut sink = RunSink::default();
+                        let mut st = WalkState::default();
+                        loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            if t >= tasks.len() || ctx.is_exhausted() {
+                                break;
+                            }
+                            run_task(t, &mut sink, &mut st);
+                        }
+                        sink.finish()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                partials.push(handle.join().expect("aggregation worker panicked"));
+            }
+        });
+    }
+    let mut merged = partials.pop().unwrap_or_default();
+    for part in partials {
+        merge_partial(&mut merged, part);
+    }
+    Some(merged)
+}
+
+/// A worker's group accumulator with run-length batching: consecutive
+/// rows with the same group key update a local accumulator vector and the
+/// hash map is only touched when the key changes. Index-ordered inputs
+/// (e.g. grouping by the driving scan's sort column) aggregate with one
+/// map operation per *group*; random key orders degrade to one map
+/// operation per row, no worse than a plain entry-per-row loop.
+#[derive(Default)]
+struct RunSink {
+    part: GroupedPartial,
+    key: Vec<Option<u64>>,
+    accs: Vec<Acc>,
+    active: bool,
+    scratch: Vec<Option<u64>>,
+}
+
+impl RunSink {
+    fn push(&mut self, ctx: &EvalCtx<'_>, sel: &CSelect, fast: &[FastAgg], row: &Row) {
+        self.part.saw_rows = true;
+        self.scratch.clear();
+        self.scratch.extend(sel.group_slots.iter().map(|&s| row[s]));
+        if !self.active || self.scratch != self.key {
+            self.flush();
+            self.key.clone_from(&self.scratch);
+            self.accs.clear();
+            self.accs.extend(sel.aggregates.iter().map(Acc::new));
+            self.active = true;
+        }
+        for ((acc, agg), f) in self.accs.iter_mut().zip(&sel.aggregates).zip(fast) {
+            match (f, &mut *acc) {
+                (FastAgg::CountAll, Acc::CountAll(n)) => *n += 1,
+                (FastAgg::CountSlot(s), Acc::Count(n)) => {
+                    if row[*s].is_some() {
+                        *n += 1;
+                    }
+                }
+                (FastAgg::Generic, acc) => acc.update(ctx, agg, row),
+                _ => unreachable!("fast-agg/accumulator mismatch"),
+            }
+        }
+    }
+
+    /// Merges the current run into the group map.
+    fn flush(&mut self) {
+        if !self.active {
+            return;
+        }
+        if let Some(accs) = self.part.groups.get_mut(self.key.as_slice()) {
+            for (a, b) in accs.iter_mut().zip(self.accs.iter_mut()) {
+                merge_acc(a, std::mem::replace(b, Acc::CountAll(0)));
+            }
+        } else {
+            self.part
+                .groups
+                .insert(self.key.clone(), std::mem::take(&mut self.accs));
+        }
+        self.active = false;
+    }
+
+    fn finish(mut self) -> GroupedPartial {
+        self.flush();
+        self.part
+    }
+}
+
+fn merge_partial(into: &mut GroupedPartial, from: GroupedPartial) {
+    into.saw_rows |= from.saw_rows;
+    for (key, accs) in from.groups {
+        match into.groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                for (a, b) in entry.get_mut().iter_mut().zip(accs) {
+                    merge_acc(a, b);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(accs);
+            }
+        }
+    }
+}
+
+/// Merges two partial accumulators for the same group. Only the COUNT
+/// family reaches here (enforced by [`fast_agg`]).
+fn merge_acc(a: &mut Acc, b: Acc) {
+    match (a, b) {
+        (Acc::CountAll(x), Acc::CountAll(y)) | (Acc::Count(x), Acc::Count(y)) => *x += y,
+        (Acc::CountDistinct(x), Acc::CountDistinct(y)) => x.extend(y),
+        _ => unreachable!("merging non-mergeable accumulators"),
     }
 }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod error;
 pub mod exec;
 pub mod explain;
@@ -41,8 +42,12 @@ pub mod results;
 pub mod update;
 
 pub use ast::{Query, Update};
+pub use cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use error::SparqlError;
-pub use exec::{execute_compiled, execute_compiled_with_limits, ExecLimits, QueryResults};
+pub use exec::{
+    execute_compiled, execute_compiled_with_limits, execute_compiled_with_options, ExecLimits,
+    ExecOptions, QueryResults, DEFAULT_MORSEL_SIZE,
+};
 pub use parser::{parse_query, parse_update};
 pub use plan::{compile, compile_with, CompileOptions, CompiledQuery, ForcedJoin};
 pub use results::Solutions;
@@ -78,6 +83,21 @@ pub fn query_with_limits(
     let parsed = parse_query(text)?;
     let compiled = compile(&view, &parsed)?;
     execute_compiled_with_limits(&view, &compiled, limits)
+}
+
+/// [`query`] with explicit execution options (worker threads, morsel
+/// size, resource limits). `ExecOptions::threads(1)` reproduces the
+/// sequential streaming path bit-for-bit.
+pub fn query_with_options(
+    store: &Store,
+    dataset: &str,
+    text: &str,
+    options: ExecOptions,
+) -> Result<QueryResults, SparqlError> {
+    let view = store.dataset(dataset)?;
+    let parsed = parse_query(text)?;
+    let compiled = compile(&view, &parsed)?;
+    execute_compiled_with_options(&view, &compiled, options)
 }
 
 /// Convenience: run a SELECT and return its solutions (errors on ASK).

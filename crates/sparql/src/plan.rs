@@ -347,7 +347,7 @@ pub enum CForm {
 /// Forces one physical join strategy for every joined BGP step —
 /// the optimizer-ablation hook (the paper's experiments hinge on the
 /// optimizer's NLJ-vs-hash choices; forcing lets benches measure both).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ForcedJoin {
     /// Always probe indexes per binding.
     Nlj,
@@ -356,7 +356,7 @@ pub enum ForcedJoin {
 }
 
 /// Compilation options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CompileOptions {
     /// Union-default-graph semantics (Oracle SEM_MATCH style). On by
     /// default; SPARQL Update compiles strict so `GRAPH` targeting works
@@ -787,21 +787,30 @@ impl Compiler<'_, '_> {
         let mut steps = Vec::with_capacity(remaining.len());
         let mut left_card: f64 = 1.0;
         while !remaining.is_empty() {
-            // Pick the next triple: prefer those joined to the bound set,
-            // then the smallest constants-only estimate.
+            // Pick the next triple: prefer those joined to the bound set.
+            // Joined candidates are ordered by their statistics-based
+            // per-probe fanout (range cardinality over distinct counts,
+            // no data scans), not by total cardinality — a pattern with
+            // fewer rows overall can still explode per probe when the
+            // join slot's value distribution is skewed. Unjoined
+            // candidates fall back to the constants-only estimate.
             let mut best = 0usize;
             let mut best_key = (usize::MAX, usize::MAX);
             for (i, t) in remaining.iter().enumerate() {
                 let shared = t.var_slots().iter().filter(|s| bound.contains(s)).count();
-                let est = if t.unsatisfiable() {
-                    0
+                let cost = if t.unsatisfiable() {
+                    0.0
+                } else if shared > 0 {
+                    self.view
+                        .stat_fanout(&t.const_pattern(), &join_positions(t, bound))
                 } else {
-                    self.view.estimate(&t.const_pattern())
+                    self.view.estimate(&t.const_pattern()) as f64
                 };
                 // Joined patterns first (shared>0 → rank 0); among a rank,
-                // smallest estimate first.
+                // smallest cost first (scaled to keep fractional fanouts
+                // comparable).
                 let rank = if shared > 0 || steps.is_empty() { 0 } else { 1 };
-                let key = (rank, est);
+                let key = (rank, (cost * 1024.0).min(usize::MAX as f64) as usize);
                 if key < best_key {
                     best_key = key;
                     best = i;
@@ -831,7 +840,7 @@ impl Compiler<'_, '_> {
                 out_card = left_card * est_scan as f64;
             } else {
                 let positions = join_positions(&triple, bound);
-                let per_probe = self.view.avg_fanout(triple.const_pattern(), &positions);
+                let per_probe = self.view.stat_fanout(&triple.const_pattern(), &positions);
                 let nlj_cost = left_card * (PROBE_COST + per_probe);
                 let hash_cost = 2.0 * est_scan as f64 + left_card;
                 strategy = match self.options.force_join {
@@ -1216,6 +1225,66 @@ mod tests {
         assert_eq!(steps.len(), 2);
         // Second step is joined: small left side → NLJ.
         assert_eq!(steps[1].strategy, Strategy::IndexNlj);
+    }
+
+    #[test]
+    fn skewed_data_reorders_joined_patterns_by_stat_fanout() {
+        // 200 "wide" edges spread over 200 subjects but only 5 objects,
+        // 100 "narrow" edges all pointing at one hub object, one "rare"
+        // edge to drive. The narrow pattern has the smaller *total*
+        // cardinality (100 < 200), so cardinality ordering would probe it
+        // first — but its join slot is the object position, where the
+        // model has only ~7 distinct values, so each probe fans out to
+        // ~14 rows. The wide pattern joined by subject fans out to ~1.
+        // Stats-based ordering must run wide before narrow.
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let mut quads = Vec::new();
+        for i in 0..200 {
+            quads.push(
+                Quad::triple(
+                    Term::iri(format!("http://pg/s{i}")),
+                    Term::iri("http://pg/p/wide"),
+                    Term::iri(format!("http://pg/obj{}", i % 5)),
+                )
+                .unwrap(),
+            );
+        }
+        for i in 0..100 {
+            quads.push(
+                Quad::triple(
+                    Term::iri(format!("http://pg/t{i}")),
+                    Term::iri("http://pg/p/narrow"),
+                    Term::iri("http://pg/hub"),
+                )
+                .unwrap(),
+            );
+        }
+        quads.push(
+            Quad::triple(
+                Term::iri("http://pg/a"),
+                Term::iri("http://pg/p/rare"),
+                Term::iri("http://pg/s0"),
+            )
+            .unwrap(),
+        );
+        store.bulk_load("m", &quads).unwrap();
+        let view = store.dataset("m").unwrap();
+        let q = parse_query(
+            "PREFIX p: <http://pg/p/>\
+             SELECT ?z WHERE { ?x p:rare ?y . ?y p:wide ?z . ?w p:narrow ?y }",
+        )
+        .unwrap();
+        let c = compile(&view, &q).unwrap();
+        let CForm::Select(sel) = c.form else { panic!("expected select") };
+        let Node::Steps(steps) = &sel.root else { panic!("expected steps") };
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].est_scan, 1, "rare pattern drives");
+        assert_eq!(
+            steps[1].est_scan, 200,
+            "low-fanout wide join must run before the skewed narrow join"
+        );
+        assert_eq!(steps[2].est_scan, 100);
     }
 
     #[test]

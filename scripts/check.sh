@@ -6,3 +6,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# The parallel executor must stay bit-identical to the sequential
+# pipeline under optimized codegen, where data races and merge-order
+# bugs actually surface.
+cargo test --release -q --test parallel_equivalence
+
+# Bench harness smoke run: every section (including the PR2
+# parallel/plan-cache artifact) must complete on a small fixture.
+cargo run --release -q --bin repro -- --scale 0.01

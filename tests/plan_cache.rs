@@ -1,0 +1,141 @@
+//! Compiled-plan cache behaviour end to end: hits execute with zero
+//! parse/compile work, and any store mutation — plain DML, SPARQL Update,
+//! or writes through the durable WAL wrapper — bumps the store epoch and
+//! evicts stale plans.
+
+use pgrdf::{PgRdfModel, PgRdfStore};
+use propertygraph::PropertyGraph;
+use quadstore::{DurableStore, Store};
+use rdf_model::{Quad, Term};
+
+fn store(model: PgRdfModel) -> PgRdfStore {
+    PgRdfStore::load(&PropertyGraph::sample_figure1(), model).unwrap()
+}
+
+#[test]
+fn repeated_query_hits_cache_with_zero_compiles() {
+    for model in PgRdfModel::ALL {
+        let s = store(model);
+        let q = "PREFIX key: <http://pg/k/> SELECT ?n WHERE { ?v key:name ?n }";
+        let first = s.select(q).unwrap();
+        assert_eq!(s.plan_cache().compiles(), 1, "{model}");
+        for _ in 0..3 {
+            let again = s.select(q).unwrap();
+            assert_eq!(first, again, "{model}");
+        }
+        // The three replays parsed and compiled nothing.
+        assert_eq!(s.plan_cache().compiles(), 1, "{model}");
+        assert_eq!(s.plan_cache().hits(), 3, "{model}");
+        assert_eq!(s.plan_cache().misses(), 1, "{model}");
+    }
+}
+
+#[test]
+fn different_query_text_is_a_separate_entry() {
+    let s = store(PgRdfModel::NG);
+    s.select("SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+    s.select("SELECT ?p WHERE { ?s ?p ?o }").unwrap();
+    assert_eq!(s.plan_cache().compiles(), 2);
+    assert_eq!(s.plan_cache().hits(), 0);
+}
+
+/// The regression the epoch counter exists for: a plan compiled while a
+/// constant term was absent from the dictionary resolves it to an
+/// unsatisfiable pattern. Without invalidation, replaying that stale plan
+/// after an INSERT would keep returning zero rows forever.
+#[test]
+fn update_dml_evicts_stale_plans() {
+    for model in PgRdfModel::ALL {
+        let mut s = store(model);
+        let q = "PREFIX key: <http://pg/k/>\n\
+                 SELECT ?v WHERE { ?v key:city \"Cambridge\" }";
+        let before = s.select(q).unwrap();
+        assert_eq!(before.len(), 0, "{model}");
+        let epoch_before = s.store().epoch();
+
+        s.update(
+            "PREFIX key: <http://pg/k/>\n\
+             INSERT DATA { <http://pg/v2> key:city \"Cambridge\" }",
+        )
+        .unwrap();
+        assert!(
+            s.store().epoch() > epoch_before,
+            "{model}: SPARQL Update must bump the mutation epoch"
+        );
+
+        let after = s.select(q).unwrap();
+        assert_eq!(after.len(), 1, "{model}: stale plan must not be replayed");
+        assert!(
+            s.plan_cache().invalidations() >= 1,
+            "{model}: the stale entry must be counted as invalidated"
+        );
+        assert_eq!(s.plan_cache().compiles(), 2, "{model}");
+    }
+}
+
+#[test]
+fn every_store_mutator_bumps_the_epoch() {
+    let mut store = Store::new();
+    let mut last = store.epoch();
+    let mut bumped = |store: &Store, what: &str, last: &mut u64| {
+        assert!(store.epoch() > *last, "{what} must bump the epoch");
+        *last = store.epoch();
+    };
+    store.create_model("m").unwrap();
+    bumped(&store, "create_model", &mut last);
+    let quad = Quad::triple(
+        Term::iri("http://s"),
+        Term::iri("http://p"),
+        Term::iri("http://o"),
+    )
+    .unwrap();
+    store.insert("m", &quad).unwrap();
+    bumped(&store, "insert", &mut last);
+    store.create_index("m", quadstore::IndexKind::SPCGM).unwrap();
+    bumped(&store, "create_index", &mut last);
+    store.drop_index("m", quadstore::IndexKind::SPCGM).unwrap();
+    bumped(&store, "drop_index", &mut last);
+    store.remove("m", &quad).unwrap();
+    bumped(&store, "remove", &mut last);
+    store.drop_model("m").unwrap();
+    bumped(&store, "drop_model", &mut last);
+}
+
+#[test]
+fn durable_store_dml_bumps_epoch() {
+    let dir = std::env::temp_dir().join(format!("plan_cache_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut ds = DurableStore::open(&dir).unwrap();
+    ds.create_model("m").unwrap();
+    // Note: `DurableStore::epoch()` is the *snapshot* generation; plan
+    // caches validate against the wrapped store's *mutation* epoch.
+    let epoch_after_ddl = ds.store().epoch();
+    let quad = Quad::triple(
+        Term::iri("http://s"),
+        Term::iri("http://p"),
+        Term::iri("http://o"),
+    )
+    .unwrap();
+    ds.insert("m", &quad).unwrap();
+    assert!(
+        ds.store().epoch() > epoch_after_ddl,
+        "durable insert must bump the mutation epoch so cached plans are evicted"
+    );
+    let epoch_after_insert = ds.store().epoch();
+    ds.remove("m", &quad).unwrap();
+    assert!(ds.store().epoch() > epoch_after_insert);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Dropping an index changes the physical design, so the same query text
+/// against the same data must recompile (the signature key changes) and
+/// may choose different access paths.
+#[test]
+fn index_set_is_part_of_the_cache_key() {
+    let s = store(PgRdfModel::NG);
+    let q = "SELECT ?s WHERE { ?s ?p ?o }";
+    s.select(q).unwrap();
+    s.select(q).unwrap();
+    assert_eq!(s.plan_cache().compiles(), 1);
+    assert_eq!(s.plan_cache().hits(), 1);
+}
