@@ -6,9 +6,17 @@
 //! pgq --demo                            # Figure 1 graph + Table 3 Q2
 //! pgq --generate 0.01 --out graph.tsv   # write a synthetic Twitter graph
 //! pgq --snap DIR ...                    # load a SNAP egonets directory
+//! pgq --demo --workers 8 --replay q.rq  # replay a query file from 8
+//!                                       # threads over one shared store
 //! ```
+//!
+//! Replay files hold one query per paragraph: queries are separated by
+//! blank lines, and lines starting with `#` are comments. All workers
+//! share a single store — snapshot isolation means no locking between
+//! them — and the aggregate throughput is reported on stderr.
 
 use std::io::Read as _;
+use std::time::Instant;
 
 use pgrdf::{LoadOptions, PartitionLayout, PgRdfModel, PgRdfStore, PgVocab};
 use propertygraph::PropertyGraph;
@@ -23,13 +31,17 @@ struct Args {
     demo: bool,
     generate: Option<f64>,
     out: Option<String>,
+    workers: usize,
+    replay: Option<String>,
+    repeat: usize,
     query: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pgq [--graph FILE.tsv | --snap DIR | --demo | --generate SCALE --out FILE]\n\
-         \x20          [--model ng|sp|rf] [--partitioned] [--json] [--explain] [QUERY|-]"
+         \x20          [--model ng|sp|rf] [--partitioned] [--json] [--explain]\n\
+         \x20          [--workers N] [--replay FILE.rq] [--repeat N] [QUERY|-]"
     );
     std::process::exit(2);
 }
@@ -45,6 +57,9 @@ fn parse_args() -> Args {
         demo: false,
         generate: None,
         out: None,
+        workers: 1,
+        replay: None,
+        repeat: 1,
         query: None,
     };
     let mut argv = std::env::args().skip(1);
@@ -66,6 +81,13 @@ fn parse_args() -> Args {
             "--demo" => args.demo = true,
             "--generate" => args.generate = argv.next().and_then(|s| s.parse().ok()),
             "--out" => args.out = argv.next(),
+            "--workers" => {
+                args.workers = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--replay" => args.replay = argv.next(),
+            "--repeat" => {
+                args.repeat = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             q => args.query = Some(q.to_string()),
         }
@@ -129,18 +151,37 @@ fn main() {
         store.stats().quads
     );
 
-    let query = match &args.query {
+    let single_query = match &args.query {
         Some(q) if q == "-" => {
             let mut buf = String::new();
             std::io::stdin()
                 .read_to_string(&mut buf)
                 .unwrap_or_else(|e| fail(&format!("stdin: {e}")));
-            buf
+            Some(buf)
         }
-        Some(q) => q.clone(),
-        None if args.demo => store.queries().q2_edge_kvs(),
-        None => usage(),
+        Some(q) => Some(q.clone()),
+        None if args.demo => Some(store.queries().q2_edge_kvs()),
+        None => None,
     };
+
+    // Concurrent replay: N worker threads hammer one shared store.
+    if args.workers > 1 || args.replay.is_some() {
+        let queries: Vec<String> = match &args.replay {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+                split_queries(&text)
+            }
+            None => single_query.clone().into_iter().collect(),
+        };
+        if queries.is_empty() {
+            fail("replay: no queries (file empty, or missing QUERY argument)");
+        }
+        replay(&store, &queries, args.workers.max(1), args.repeat.max(1));
+        return;
+    }
+
+    let query = single_query.unwrap_or_else(|| usage());
 
     if args.explain {
         match store.explain(&query) {
@@ -166,6 +207,69 @@ fn main() {
         }
         Err(e) => fail(&format!("query: {e}")),
     }
+}
+
+/// Splits a replay file into queries: paragraphs separated by blank
+/// lines, with full-line `#` comments stripped.
+fn split_queries(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut block = String::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            if !block.trim().is_empty() {
+                out.push(std::mem::take(&mut block));
+            }
+            block.clear();
+        } else if !line.trim_start().starts_with('#') {
+            block.push_str(line);
+            block.push('\n');
+        }
+    }
+    if !block.trim().is_empty() {
+        out.push(block);
+    }
+    out
+}
+
+/// Replays the query list `repeat` times from each of `workers` threads
+/// against one shared store and reports aggregate throughput. A warm-up
+/// pass populates the plan cache first, so the timed region measures
+/// concurrent execution, not compilation.
+fn replay(store: &PgRdfStore, queries: &[String], workers: usize, repeat: usize) {
+    for q in queries {
+        store.query(q).unwrap_or_else(|e| fail(&format!("replay warm-up: {e}")));
+    }
+    let t0 = Instant::now();
+    let rows: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut rows = 0usize;
+                    for _ in 0..repeat {
+                        for q in queries {
+                            match store.query(q) {
+                                Ok(sparql::QueryResults::Solutions(s)) => rows += s.len(),
+                                Ok(_) => rows += 1,
+                                Err(e) => fail(&format!("replay: {e}")),
+                            }
+                        }
+                    }
+                    rows
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replay worker panicked")).sum()
+    });
+    let elapsed = t0.elapsed();
+    let total = workers * repeat * queries.len();
+    eprintln!(
+        "{workers} workers x {repeat} pass(es) over {} quer{} = {total} executions \
+         in {:.3} s — {:.1} queries/s aggregate, {rows} rows total",
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
+    );
 }
 
 fn fail(msg: &str) -> ! {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale 0.02] [--seed 7739251] [table2|table5|table6|table7|table8|table9|
-//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|durability|all]
+//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|durability|all]
 //! ```
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
@@ -43,7 +43,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|durability|all]"
+                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|durability|all]"
                 );
                 std::process::exit(0);
             }
@@ -75,7 +75,7 @@ fn main() {
     // Everything below needs the generated dataset.
     let needs_fixture = [
         "table5", "table6", "table7", "table8", "table9", "fig4", "fig5", "fig6", "fig7",
-        "fig8", "fig9", "rf", "mono", "pr2", "durability",
+        "fig8", "fig9", "rf", "mono", "pr2", "pr3", "durability",
     ]
     .iter()
     .any(|s| want(s));
@@ -162,6 +162,9 @@ fn main() {
     }
     if want("pr2") {
         bench_pr2(&fixture, &args);
+    }
+    if want("pr3") {
+        bench_pr3(&fixture, &args);
     }
     // Opt-in (not part of `all`): fsync-heavy, so only on explicit ask.
     if args.sections.iter().any(|s| s == "durability") {
@@ -635,6 +638,135 @@ fn bench_pr2(fixture: &Fixture, args: &Args) {
     );
     std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
     println!("wrote BENCH_PR2.json");
+}
+
+/// PR3 artifact: snapshot-isolated read scaling, written to
+/// `BENCH_PR3.json`. For NG and SP, N reader threads (1/2/4/8) replay
+/// node-centric queries against the node-KV partition for a fixed window,
+/// first with no concurrent DML and then with a background writer thread
+/// continuously committing and retracting a multi-quad sentinel through
+/// the MVCC writer path. Readers pin a fresh snapshot per query and never
+/// block on the writer, so reads/s should scale with the reader count in
+/// both modes.
+fn bench_pr3(fixture: &Fixture, args: &Args) {
+    use propertygraph::PropValue;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Duration;
+
+    const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const WINDOW: Duration = Duration::from_millis(250);
+
+    println!("\n--- PR3: snapshot-isolated read scaling (BENCH_PR3.json) ---");
+    println!(
+        "{:<6} {:<10} {:>8} {:>12} {:>18}",
+        "model", "writer", "readers", "reads/s", "writer commits/s"
+    );
+
+    let mut model_blocks = Vec::new();
+    for model in [PgRdfModel::NG, PgRdfModel::SP] {
+        let store = fixture.store(model);
+        let names = store.partition_names().expect("fixture stores are partitioned");
+        let dataset = names.node_kv.clone();
+        let queries =
+            [fixture.query_text(Eq::Eq1, model), fixture.query_text(Eq::Eq4, model)];
+        // A sentinel vertex's node-KV quads in this model's shape — what
+        // the background writer toggles atomically.
+        let mut g = PropertyGraph::new();
+        g.add_vertex_with_props(99_999_001, [("name", PropValue::from("pr3-sentinel"))]);
+        let sentinel = pgrdf::convert(&g, model, &PgVocab::twitter());
+
+        let mut mode_blocks = Vec::new();
+        for with_writer in [false, true] {
+            let mut cells = Vec::new();
+            for &readers in &READER_COUNTS {
+                let stop = AtomicBool::new(false);
+                let reads = AtomicU64::new(0);
+                let writes = AtomicU64::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..readers {
+                        scope.spawn(|| {
+                            // threads(1): each query executes sequentially,
+                            // so measured scaling comes from reader
+                            // concurrency, not the morsel-parallel executor
+                            // saturating the cores on its own.
+                            let opts = sparql::ExecOptions::threads(1);
+                            while !stop.load(Ordering::Relaxed) {
+                                for q in &queries {
+                                    store.select_in_with(&dataset, q, opts).expect("pr3 read");
+                                    reads.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    }
+                    if with_writer {
+                        scope.spawn(|| {
+                            let raw = store.store();
+                            while !stop.load(Ordering::Relaxed) {
+                                let mut b = raw.begin();
+                                for q in &sentinel {
+                                    b.insert(&dataset, q).expect("pr3 insert");
+                                }
+                                b.commit();
+                                let mut b = raw.begin();
+                                for q in &sentinel {
+                                    b.remove(&dataset, q).expect("pr3 remove");
+                                }
+                                b.commit();
+                                writes.fetch_add(2, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                    std::thread::sleep(WINDOW);
+                    stop.store(true, Ordering::Relaxed);
+                });
+                let secs = WINDOW.as_secs_f64();
+                let rps = reads.load(Ordering::Relaxed) as f64 / secs;
+                let wps = writes.load(Ordering::Relaxed) as f64 / secs;
+                println!(
+                    "{:<6} {:<10} {:>8} {:>12} {:>18}",
+                    model.to_string(),
+                    if with_writer { "yes" } else { "no" },
+                    readers,
+                    format!("{rps:.0}"),
+                    if with_writer { format!("{wps:.0}") } else { "-".to_string() }
+                );
+                cells.push(format!(
+                    "\"{readers}\": {{\"reads_per_s\": {rps:.1}, \"writer_commits_per_s\": {wps:.1}}}"
+                ));
+            }
+            mode_blocks.push(format!(
+                "      \"{}\": {{{}}}",
+                if with_writer { "with_writer" } else { "no_writer" },
+                cells.join(", ")
+            ));
+        }
+        model_blocks.push(format!(
+            "    \"{}\": {{\n{}\n    }}",
+            model,
+            mode_blocks.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scale\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"window_ms\": {},\n",
+            "  \"cores\": {},\n",
+            "  \"queries\": [\"EQ1\", \"EQ4\"],\n",
+            "  \"reader_counts\": [1, 2, 4, 8],\n",
+            "  \"models\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        args.scale,
+        args.seed,
+        WINDOW.as_millis(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        model_blocks.join(",\n")
+    );
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    println!("wrote BENCH_PR3.json");
 }
 
 /// Nearest-rank percentile (q in 0..=100) over unsorted samples.

@@ -2,7 +2,7 @@
 //! one of the three models and query it with SPARQL.
 
 use propertygraph::PropertyGraph;
-use quadstore::{IndexKind, ModelStats, StorageReport, Store};
+use quadstore::{IndexKind, ModelStats, Snapshot, StorageReport, Store};
 use rdf_model::Quad;
 use sparql::{ExecOptions, PlanCache, QueryResults, Solutions, UpdateStats};
 
@@ -117,7 +117,7 @@ impl PgRdfStore {
                 indexes = options.indexes.clone();
             }
         }
-        let mut store = Store::with_default_indexes(&indexes);
+        let store = Store::with_default_indexes(&indexes);
         match options.layout {
             PartitionLayout::Monolithic => {
                 store.create_model(&options.base_name)?;
@@ -215,18 +215,52 @@ impl PgRdfStore {
         text: &str,
         options: ExecOptions,
     ) -> Result<QueryResults, CoreError> {
-        let view = self.store.dataset(dataset)?;
+        // Pin one MVCC snapshot for the whole query so the epoch the plan
+        // is validated against, the dictionary its constant IDs resolve
+        // in, and the data it scans are all the same generation — even
+        // with DML racing on other threads.
+        let snapshot = self.store.snapshot();
+        self.query_cached_at(&snapshot, dataset, text, options)
+    }
+
+    fn query_cached_at(
+        &self,
+        snapshot: &Snapshot,
+        dataset: &str,
+        text: &str,
+        options: ExecOptions,
+    ) -> Result<QueryResults, CoreError> {
+        let view = snapshot.dataset(dataset)?;
         // The key folds in the dataset name *and* the physical index
         // signature: plans bake index choices into their access paths.
         let key = format!("{dataset}={}", view.index_signature());
         let copts = sparql::CompileOptions::default();
         let plan = self
             .plan_cache
-            .get_or_compile(&key, text, copts, self.store.epoch(), || {
+            .get_or_compile(&key, text, copts, snapshot.epoch(), || {
                 let parsed = sparql::parse_query(text)?;
                 sparql::compile_with(&view, &parsed, copts)
             })?;
         Ok(sparql::execute_compiled_with_options(&view, &plan, options)?)
+    }
+
+    /// Pins the store's current MVCC generation. Queries run via
+    /// [`Self::select_at`] against the handle all see this one consistent
+    /// `(dictionary, indexes, epoch)` view regardless of concurrent DML.
+    pub fn snapshot(&self) -> Snapshot {
+        self.store.snapshot()
+    }
+
+    /// Runs a SELECT against an explicitly pinned snapshot (see
+    /// [`Self::snapshot`]). Plan-cache entries are validated against the
+    /// *snapshot's* epoch, never the live store's.
+    pub fn select_at(&self, snapshot: &Snapshot, text: &str) -> Result<Solutions, CoreError> {
+        match self.query_cached_at(snapshot, &self.dataset_name(), text, ExecOptions::default())? {
+            QueryResults::Solutions(s) => Ok(s),
+            QueryResults::Boolean(_) | QueryResults::Graph(_) => Err(CoreError::Sparql(
+                sparql::SparqlError::Unsupported("expected a SELECT query".into()),
+            )),
+        }
     }
 
     /// Runs a SPARQL query against the full dataset.
@@ -286,12 +320,13 @@ impl PgRdfStore {
 
     /// Executes a SPARQL Update. Only available on the monolithic layout
     /// (partitioned DML would need per-class routing, which the paper
-    /// leaves to future work).
-    pub fn update(&mut self, text: &str) -> Result<UpdateStats, CoreError> {
+    /// leaves to future work). Takes `&self`: the statement goes through
+    /// the store's writer path and publishes atomically, so readers on
+    /// other threads are never blocked and never see a torn statement.
+    pub fn update(&self, text: &str) -> Result<UpdateStats, CoreError> {
         match self.layout {
             PartitionLayout::Monolithic => {
-                let base = self.base.clone();
-                Ok(sparql::update(&mut self.store, &base, text)?)
+                Ok(sparql::update(&self.store, &self.base, text)?)
             }
             PartitionLayout::Partitioned => Err(CoreError::UpdateOnPartitioned),
         }
@@ -301,16 +336,15 @@ impl PgRdfStore {
     pub fn stats(&self) -> ModelStats {
         match self.layout {
             PartitionLayout::Monolithic => {
-                ModelStats::compute(self.store.model(&self.base).expect("model exists"))
+                ModelStats::compute(&self.store.model(&self.base).expect("model exists"))
             }
             PartitionLayout::Partitioned => {
                 let names = PartitionNames::new(&self.base);
-                ModelStats::compute_union(
-                    &names.all,
-                    QuadClass::ALL
-                        .iter()
-                        .map(|&c| self.store.model(names.of(c)).expect("partition exists")),
-                )
+                let models: Vec<_> = QuadClass::ALL
+                    .iter()
+                    .map(|&c| self.store.model(names.of(c)).expect("partition exists"))
+                    .collect();
+                ModelStats::compute_union(&names.all, models.iter().map(|m| m.as_ref()))
             }
         }
     }
@@ -522,7 +556,7 @@ mod tests {
     #[test]
     fn update_on_monolithic_only() {
         let graph = PropertyGraph::sample_figure1();
-        let mut store = PgRdfStore::load(&graph, PgRdfModel::NG).unwrap();
+        let store = PgRdfStore::load(&graph, PgRdfModel::NG).unwrap();
         let stats = store
             .update(
                 "PREFIX key: <http://pg/k/>\n\
@@ -530,7 +564,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(stats.inserted, 1);
-        let mut part = PgRdfStore::load_with(
+        let part = PgRdfStore::load_with(
             &graph,
             PgRdfModel::NG,
             LoadOptions { layout: PartitionLayout::Partitioned, ..Default::default() },

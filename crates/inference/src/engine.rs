@@ -279,7 +279,7 @@ mod tests {
     use rdf_model::Term;
 
     fn store_with(triples: &[(&str, &str, &str)]) -> Store {
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("data").unwrap();
         let quads: Vec<Quad> = triples
             .iter()

@@ -11,7 +11,7 @@ use crate::store::Store;
 
 /// Parses `text` as N-Quads and bulk-loads it into `model`, returning the
 /// number of statements loaded (before deduplication).
-pub fn load_nquads(store: &mut Store, model: &str, text: &str) -> Result<usize, StoreError> {
+pub fn load_nquads(store: &Store, model: &str, text: &str) -> Result<usize, StoreError> {
     let quads = nquads::parse(text)?;
     store.bulk_load(model, &quads)
 }
@@ -22,29 +22,29 @@ mod tests {
 
     #[test]
     fn loads_document() {
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").unwrap();
         let doc = "\
 <http://pg/v1> <http://pg/r/follows> <http://pg/v2> <http://pg/e3> .
 <http://pg/e3> <http://pg/k/since> \"2007\"^^<http://www.w3.org/2001/XMLSchema#int> <http://pg/e3> .
 <http://pg/v1> <http://pg/k/name> \"Amy\" .
 ";
-        assert_eq!(load_nquads(&mut store, "m", doc).unwrap(), 3);
+        assert_eq!(load_nquads(&store, "m", doc).unwrap(), 3);
         assert_eq!(store.model("m").unwrap().len(), 3);
     }
 
     #[test]
     fn syntax_error_propagates() {
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").unwrap();
-        let err = load_nquads(&mut store, "m", "garbage here\n");
+        let err = load_nquads(&store, "m", "garbage here\n");
         assert!(matches!(err, Err(StoreError::Model(_))));
     }
 
     #[test]
     fn unknown_model_rejected() {
-        let mut store = Store::new();
-        let err = load_nquads(&mut store, "missing", "");
+        let store = Store::new();
+        let err = load_nquads(&store, "missing", "");
         assert!(matches!(err, Err(StoreError::UnknownModel(_))));
     }
 }

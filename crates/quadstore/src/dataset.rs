@@ -1,19 +1,27 @@
 //! Dataset views: the query target resolved from one model, a virtual
 //! model, or an explicit union of models (§3.2, Table 4: "a user can choose
 //! the appropriate RDF dataset for each query").
+//!
+//! A view is an *owned* piece of one published store generation: it holds
+//! `Arc`s to its member models plus the dictionary snapshot that decodes
+//! them. Once resolved, it is immune to concurrent DML/DDL on the store —
+//! this is what lets morsel workers on other threads drive a whole query
+//! off one consistent snapshot.
 
-use rdf_model::Quad;
+use std::sync::Arc;
 
-use crate::ids::{EncodedQuad, QuadPattern};
+use rdf_model::{DictSnapshot, GraphName, Quad, Term, TermId};
+
+use crate::ids::{EncodedQuad, QuadPattern, G, O, P, S};
 use crate::model::{AccessPath, SemanticModel};
-use crate::store::Store;
 
-/// A read-only union view over one or more semantic models, bound to the
-/// store whose dictionary decodes its quads.
-#[derive(Clone)]
-pub struct DatasetView<'a> {
-    store: &'a Store,
-    members: Vec<&'a SemanticModel>,
+/// A read-only union view over one or more semantic models, carrying the
+/// dictionary snapshot that decodes its quads. Cloning shares the same
+/// pinned generation (`Arc` clones only).
+#[derive(Debug, Clone)]
+pub struct DatasetView {
+    dict: DictSnapshot,
+    members: Vec<Arc<SemanticModel>>,
 }
 
 /// One unit of parallel scan work: a contiguous chunk of one member's
@@ -30,22 +38,51 @@ pub struct Morsel {
     pub delta: bool,
 }
 
-impl<'a> DatasetView<'a> {
-    pub(crate) fn new(store: &'a Store, members: Vec<&'a SemanticModel>) -> Self {
-        DatasetView { store, members }
+impl DatasetView {
+    pub(crate) fn new(dict: DictSnapshot, members: Vec<Arc<SemanticModel>>) -> Self {
+        DatasetView { dict, members }
     }
 
-    pub(crate) fn into_members(self) -> Vec<&'a SemanticModel> {
+    pub(crate) fn into_members(self) -> Vec<Arc<SemanticModel>> {
         self.members
     }
 
-    /// The owning store (for term decoding).
-    pub fn store(&self) -> &'a Store {
-        self.store
+    /// The dictionary snapshot this view decodes against.
+    pub fn dictionary(&self) -> &DictSnapshot {
+        &self.dict
+    }
+
+    /// Resolves an ID back to its term in the view's pinned dictionary.
+    pub fn term(&self, id: TermId) -> Option<&Term> {
+        self.dict.lookup(id)
+    }
+
+    /// Resolves a term to its ID without interning; `None` means the term
+    /// occurs nowhere in this generation, so no pattern mentioning it can
+    /// match.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.dict.get(term)
+    }
+
+    /// Decodes an encoded quad back to terms. Panics if the IDs were not
+    /// issued by the owning store's dictionary (an internal invariant).
+    pub fn decode(&self, quad: &EncodedQuad) -> Quad {
+        let term = |id: u64| {
+            self.dict
+                .lookup(TermId(id))
+                .expect("encoded quad refers to interned terms")
+                .clone()
+        };
+        let graph = if quad[G] == 0 {
+            GraphName::Default
+        } else {
+            GraphName::Named(term(quad[G]))
+        };
+        Quad::new_unchecked(term(quad[S]), term(quad[P]), term(quad[O]), graph)
     }
 
     /// Names of the member models, in view order.
-    pub fn member_names(&self) -> Vec<&'a str> {
+    pub fn member_names(&self) -> Vec<&str> {
         self.members.iter().map(|m| m.name()).collect()
     }
 
@@ -61,23 +98,20 @@ impl<'a> DatasetView<'a> {
 
     /// Scans quads matching `pattern` across all member models. Each member
     /// uses its own best local index (Oracle's partition-local indexes).
-    pub fn scan(&self, pattern: QuadPattern) -> impl Iterator<Item = EncodedQuad> + 'a {
-        let members = self.members.clone();
-        members.into_iter().flat_map(move |m| m.scan(pattern))
+    pub fn scan(&self, pattern: QuadPattern) -> impl Iterator<Item = EncodedQuad> + '_ {
+        self.members.iter().flat_map(move |m| m.scan(pattern))
     }
 
-    /// Like [`Self::scan`] but borrowing `self` instead of detaching from
-    /// it: no member-list clone per call. This is the executor's per-probe
-    /// fast path — a nested-loop join issues one probe per input row, so
-    /// the per-call constant matters far more than for full scans.
+    /// Alias of [`Self::scan`], kept for the executor's per-probe call
+    /// sites — a nested-loop join issues one probe per input row, so the
+    /// per-call constant matters far more than for full scans.
     pub fn probe(&self, pattern: QuadPattern) -> impl Iterator<Item = EncodedQuad> + '_ {
         self.members.iter().flat_map(move |m| m.scan(pattern))
     }
 
     /// Decoded scan, for callers that want terms rather than IDs.
-    pub fn scan_decoded(&self, pattern: QuadPattern) -> impl Iterator<Item = Quad> + 'a {
-        let store = self.store;
-        self.scan(pattern).map(move |q| store.decode(&q))
+    pub fn scan_decoded(&self, pattern: QuadPattern) -> impl Iterator<Item = Quad> + '_ {
+        self.scan(pattern).map(move |q| self.decode(&q))
     }
 
     /// A stable signature of the view's member models and their index
@@ -123,7 +157,7 @@ impl<'a> DatasetView<'a> {
 
     /// The access path each member would use for `pattern`; the first entry
     /// is what `EXPLAIN` reports for single-member views.
-    pub fn access_paths(&self, pattern: &QuadPattern) -> Vec<(&'a str, AccessPath)> {
+    pub fn access_paths(&self, pattern: &QuadPattern) -> Vec<(&str, AccessPath)> {
         self.members
             .iter()
             .map(|m| (m.name(), m.choose_index(pattern)))
@@ -174,7 +208,7 @@ impl<'a> DatasetView<'a> {
         &self,
         pattern: QuadPattern,
         morsel: &Morsel,
-    ) -> Box<dyn Iterator<Item = EncodedQuad> + 'a> {
+    ) -> Box<dyn Iterator<Item = EncodedQuad> + '_> {
         self.scan_morsel_ordered(pattern, morsel, None)
     }
 
@@ -185,8 +219,8 @@ impl<'a> DatasetView<'a> {
         pattern: QuadPattern,
         morsel: &Morsel,
         prefer: Option<usize>,
-    ) -> Box<dyn Iterator<Item = EncodedQuad> + 'a> {
-        let m = self.members[morsel.member];
+    ) -> Box<dyn Iterator<Item = EncodedQuad> + '_> {
+        let m = &self.members[morsel.member];
         if morsel.delta {
             Box::new(m.scan_delta(pattern))
         } else {
@@ -242,10 +276,10 @@ impl<'a> DatasetView<'a> {
 mod tests {
     use super::*;
     use crate::ids::GraphConstraint;
-    use rdf_model::{GraphName, Term, TermId};
+    use crate::store::Store;
 
     fn store_with_two_models() -> Store {
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("a").unwrap();
         store.create_model("b").unwrap();
         let q1 = Quad::triple(
@@ -304,8 +338,22 @@ mod tests {
     }
 
     #[test]
+    fn views_are_snapshots_of_their_generation() {
+        let store = store_with_two_models();
+        let view = store.dataset("a").unwrap();
+        assert_eq!(view.len(), 1);
+        store
+            .insert("a", &quad_of("http://s9", "http://p", "http://o9"))
+            .unwrap();
+        // The already-resolved view still sees the old generation …
+        assert_eq!(view.len(), 1);
+        // … while a freshly resolved one sees the new quad.
+        assert_eq!(store.dataset("a").unwrap().len(), 2);
+    }
+
+    #[test]
     fn morsels_reproduce_scan_order() {
-        let mut store = store_with_two_models();
+        let store = store_with_two_models();
         // Give model "a" extra base rows and an uncompacted delta.
         let quads: Vec<Quad> = (0..10)
             .map(|i| {
@@ -341,7 +389,7 @@ mod tests {
 
     #[test]
     fn stat_fanout_uses_distinct_counts() {
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").unwrap();
         // 8 quads, 4 distinct subjects -> fanout 2 per subject.
         let quads: Vec<Quad> = (0..8)

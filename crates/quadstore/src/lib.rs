@@ -43,5 +43,5 @@ pub use index::{Component, IndexKind, SortedIndex};
 pub use model::{AccessPath, SemanticModel};
 pub use persist::{recover_from_dir, Recovered};
 pub use stats::{ModelStats, StorageReport, StorageRow};
-pub use store::Store;
+pub use store::{Snapshot, Store, WriteBatch};
 pub use wal::{crc32, scan_wal, WalRecord, WalScan};

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeSet;
 use std::collections::HashSet;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::StoreError;
 use crate::ids::{EncodedQuad, QuadPattern, G, O, P, S};
@@ -33,10 +33,15 @@ impl AccessPath {
 }
 
 /// One semantic model: a set of quads plus its local indexes.
-#[derive(Debug)]
+///
+/// Cloning is the copy-on-write primitive of the MVCC store: the sorted
+/// base indexes are `Arc`-shared (pointer copies), so a clone costs only
+/// the uncompacted DML delta sets — which the store keeps small by
+/// auto-compacting.
+#[derive(Debug, Clone)]
 pub struct SemanticModel {
     name: String,
-    indexes: Vec<SortedIndex>,
+    indexes: Vec<Arc<SortedIndex>>,
     index_kinds: Vec<IndexKind>,
     /// Quads inserted since the last compaction (SPOG order).
     delta_added: BTreeSet<EncodedQuad>,
@@ -60,7 +65,10 @@ impl SemanticModel {
         kinds.dedup();
         Ok(SemanticModel {
             name: name.into(),
-            indexes: kinds.iter().map(|&k| SortedIndex::build(k, &[])).collect(),
+            indexes: kinds
+                .iter()
+                .map(|&k| Arc::new(SortedIndex::build(k, &[])))
+                .collect(),
             index_kinds: kinds,
             delta_added: BTreeSet::new(),
             delta_removed: BTreeSet::new(),
@@ -79,8 +87,8 @@ impl SemanticModel {
         &self.index_kinds
     }
 
-    /// The built index structures.
-    pub fn indexes(&self) -> &[SortedIndex] {
+    /// The built index structures (`Arc`-shared with snapshot clones).
+    pub fn indexes(&self) -> &[Arc<SortedIndex>] {
         &self.indexes
     }
 
@@ -100,7 +108,7 @@ impl SemanticModel {
     }
 
     fn primary(&self) -> &SortedIndex {
-        &self.indexes[0]
+        self.indexes[0].as_ref()
     }
 
     /// Whether the model currently contains the quad.
@@ -179,7 +187,7 @@ impl SemanticModel {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("index build thread panicked"))
+                .map(|h| Arc::new(h.join().expect("index build thread panicked")))
                 .collect::<Vec<_>>()
         });
     }
@@ -201,7 +209,7 @@ impl SemanticModel {
         self.compact();
         let all: Vec<EncodedQuad> = self.iter_all().collect();
         self.index_kinds.push(kind);
-        self.indexes.push(SortedIndex::build(kind, &all));
+        self.indexes.push(Arc::new(SortedIndex::build(kind, &all)));
     }
 
     /// Drops a local index. Fails if it is the last one (the primary index
@@ -324,6 +332,7 @@ impl SemanticModel {
             .iter()
             .find(|i| i.kind() == path.index)
             .expect("chosen index exists")
+            .as_ref()
     }
 
     /// The base-index key span `[lo, hi)` a scan of `pattern` walks in the

@@ -32,7 +32,7 @@ use rdf_model::nquads;
 use crate::error::StoreError;
 use crate::faults::{retry_interrupted, RealFs, Vfs};
 use crate::index::IndexKind;
-use crate::store::Store;
+use crate::store::{Snapshot, Store};
 use crate::wal::{crc32, scan_wal, WalRecord};
 
 /// Manifest file name inside a store directory.
@@ -143,11 +143,11 @@ fn parse_manifest(text: &str) -> Result<Manifest, StoreError> {
     Ok(manifest)
 }
 
-fn render_manifest(store: &Store, epoch: u64, file_crcs: &[u32]) -> String {
+fn render_manifest(snap: &Snapshot, epoch: u64, file_crcs: &[u32]) -> String {
     let mut text = String::new();
     let _ = writeln!(text, "epoch\t{epoch}");
-    for (i, name) in store.model_names().enumerate() {
-        let model = store.model(name).expect("listed model exists");
+    for (i, name) in snap.model_names().iter().enumerate() {
+        let model = snap.model(name).expect("listed model exists");
         let indexes: Vec<String> =
             model.index_kinds().iter().map(|k| k.to_string()).collect();
         let _ = writeln!(
@@ -157,8 +157,8 @@ fn render_manifest(store: &Store, epoch: u64, file_crcs: &[u32]) -> String {
             file_crcs[i]
         );
     }
-    for name in store.virtual_model_names() {
-        let members = store.virtual_model(&name).expect("listed virtual exists");
+    for name in snap.virtual_model_names() {
+        let members = snap.virtual_model(&name).expect("listed virtual exists");
         let _ = writeln!(text, "virtual\t{name}\t{}", members.join(","));
     }
     let crc = crc32(text.as_bytes());
@@ -189,10 +189,15 @@ pub fn save_snapshot(store: &Store, dir: &Path, vfs: &dyn Vfs) -> Result<u64, St
     let old_epochs = existing_epochs(vfs, dir);
     let epoch = old_epochs.last().copied().unwrap_or(0) + 1;
 
+    // Pin one MVCC generation for the whole save: every model file and
+    // the manifest describe the same consistent view even while writers
+    // keep publishing.
+    let snap = store.snapshot();
+
     // 1. Model data files, each fsynced before the manifest references it.
     let mut file_crcs = Vec::new();
-    for (i, name) in store.model_names().enumerate() {
-        let view = store.dataset(name)?;
+    for (i, name) in snap.model_names().iter().enumerate() {
+        let view = snap.dataset(name)?;
         let quads: Vec<rdf_model::Quad> =
             view.scan_decoded(crate::ids::QuadPattern::any()).collect();
         let bytes = nquads::serialize(&quads).into_bytes();
@@ -204,7 +209,7 @@ pub fn save_snapshot(store: &Store, dir: &Path, vfs: &dyn Vfs) -> Result<u64, St
 
     // 2. Immutable epoch manifest copy (recovery fallback), then an empty
     //    WAL for the new epoch, both durable before the commit point.
-    let text = render_manifest(store, epoch, &file_crcs);
+    let text = render_manifest(&snap, epoch, &file_crcs);
     let epoch_manifest = dir.join(epoch_manifest_name(epoch));
     retry_interrupted(|| vfs.write(&epoch_manifest, text.as_bytes())).map_err(io_err)?;
     retry_interrupted(|| vfs.sync_file(&epoch_manifest)).map_err(io_err)?;
@@ -246,7 +251,7 @@ pub fn save_to_dir(store: &Store, dir: &Path) -> Result<(), StoreError> {
 
 /// Loads the snapshot a manifest describes (without WAL replay).
 fn load_snapshot(vfs: &dyn Vfs, dir: &Path, manifest: &Manifest) -> Result<Store, StoreError> {
-    let mut store = Store::new();
+    let store = Store::new();
     for (name, file, kinds, crc) in &manifest.models {
         store.create_model_with_indexes(name, kinds)?;
         let bytes = retry_interrupted(|| vfs.read(&dir.join(file))).map_err(io_err)?;
@@ -260,7 +265,7 @@ fn load_snapshot(vfs: &dyn Vfs, dir: &Path, manifest: &Manifest) -> Result<Store
         }
         let text = String::from_utf8(bytes)
             .map_err(|_| StoreError::Corrupt(format!("{file}: not UTF-8")))?;
-        crate::bulk::load_nquads(&mut store, name, &text)?;
+        crate::bulk::load_nquads(&store, name, &text)?;
     }
     for (name, members) in &manifest.virtuals {
         let refs: Vec<&str> = members.iter().map(|s| s.as_str()).collect();
@@ -332,11 +337,11 @@ pub fn recover_with(vfs: &dyn Vfs, dir: &Path) -> Result<Recovered, StoreError> 
             Ok::<_, StoreError>((store, manifest.epoch))
         })();
         match attempt {
-            Ok((mut store, epoch)) => {
+            Ok((store, epoch)) => {
                 let (records, valid_len, truncated) = read_wal(vfs, dir, epoch)?;
                 let count = records.len();
                 for record in records {
-                    replay(&mut store, record)?;
+                    replay(&store, record)?;
                 }
                 return Ok(Recovered {
                     store,
@@ -370,7 +375,7 @@ fn read_wal(
 /// DML is naturally so, and DDL that is already in effect (a model that
 /// exists, an index already present) is skipped rather than an error, so
 /// replaying a WAL twice converges to the same state.
-pub fn replay(store: &mut Store, record: WalRecord) -> Result<(), StoreError> {
+pub fn replay(store: &Store, record: WalRecord) -> Result<(), StoreError> {
     match record {
         WalRecord::Insert { model, quad } => {
             store.insert(&model, &quad)?;
@@ -429,7 +434,7 @@ mod tests {
     }
 
     fn sample_store() -> Store {
-        let mut store = Store::with_default_indexes(&IndexKind::PAPER_FOUR);
+        let store = Store::with_default_indexes(&IndexKind::PAPER_FOUR);
         store.create_model("topology").unwrap();
         store
             .create_model_with_indexes("kv", &[IndexKind::PCSGM])
@@ -533,7 +538,7 @@ mod tests {
     fn save_supersedes_previous_epoch() {
         let dir = tmp("epochs");
         let _ = std::fs::remove_dir_all(&dir);
-        let mut store = sample_store();
+        let store = sample_store();
         save_to_dir(&store, &dir).unwrap();
         store
             .insert(

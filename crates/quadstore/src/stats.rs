@@ -179,7 +179,7 @@ mod tests {
     use rdf_model::{GraphName, Quad, Term};
 
     fn loaded_store() -> Store {
-        let mut store = Store::with_default_indexes(&[IndexKind::PCSGM, IndexKind::GPSCM]);
+        let store = Store::with_default_indexes(&[IndexKind::PCSGM, IndexKind::GPSCM]);
         store.create_model("m").unwrap();
         let quads = vec![
             Quad::triple(Term::iri("http://s1"), Term::iri("http://p1"), Term::int(1)).unwrap(),
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn model_stats_counts() {
         let store = loaded_store();
-        let stats = ModelStats::compute(store.model("m").unwrap());
+        let stats = ModelStats::compute(&store.model("m").unwrap());
         assert_eq!(stats.quads, 3);
         assert_eq!(stats.distinct_subjects, 2);
         assert_eq!(stats.distinct_predicates, 2);
@@ -210,15 +210,13 @@ mod tests {
 
     #[test]
     fn union_stats_dedup_across_models() {
-        let mut store = loaded_store();
+        let store = loaded_store();
         store.create_model("n").unwrap();
         let q =
             Quad::triple(Term::iri("http://s1"), Term::iri("http://p1"), Term::int(1)).unwrap();
         store.insert("n", &q).unwrap();
-        let stats = ModelStats::compute_union(
-            "u",
-            ["m", "n"].iter().map(|n| store.model(n).unwrap()),
-        );
+        let models: Vec<_> = ["m", "n"].iter().map(|n| store.model(n).unwrap()).collect();
+        let stats = ModelStats::compute_union("u", models.iter().map(|m| m.as_ref()));
         assert_eq!(stats.quads, 4); // union view keeps duplicates per model
         assert_eq!(stats.distinct_subjects, 2); // but distincts dedup
     }

@@ -114,7 +114,7 @@ fn delta_overlay_behaves_like_a_set() {
             .map(|_| (r.next() & 1 == 0, r.range(1, 8), r.range(1, 5), r.range(1, 10)))
             .collect();
 
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").expect("model");
         let base_quads: Vec<Quad> = base.iter().map(decode).collect();
         store.bulk_load("m", &base_quads).expect("load");
@@ -151,7 +151,7 @@ fn estimate_is_an_upper_bound_on_matches() {
         let mut r = Rnd::new(case);
         let quads = rand_quads(&mut r);
         let pattern = rand_pattern(&mut r);
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").expect("model");
         let base_quads: Vec<Quad> = quads.iter().map(decode).collect();
         store.bulk_load("m", &base_quads).expect("load");

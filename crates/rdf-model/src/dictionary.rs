@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::term::Term;
 
@@ -127,6 +128,210 @@ impl Dictionary {
     }
 }
 
+/// An immutable, contiguous run of interned terms covering the ID range
+/// `[first_id, first_id + terms.len())`. Segments are the sharing unit of
+/// the MVCC dictionary: snapshots hold `Arc`s to segments, so publishing a
+/// new dictionary generation never copies previously frozen terms.
+#[derive(Debug)]
+pub struct DictSegment {
+    first_id: u64,
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+    value_bytes: usize,
+}
+
+impl DictSegment {
+    fn new(first_id: u64, terms: Vec<Term>) -> Self {
+        let ids = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TermId(first_id + i as u64)))
+            .collect();
+        let value_bytes = terms.iter().map(term_value_bytes).sum();
+        DictSegment { first_id, terms, ids, value_bytes }
+    }
+
+    /// Number of terms in this segment.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the segment holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// An immutable dictionary generation: a stack of [`DictSegment`]s whose ID
+/// ranges are contiguous and start at 1. Cloning is O(#segments) — segment
+/// contents are `Arc`-shared — which is what lets every published store
+/// generation carry its own consistent dictionary view.
+#[derive(Debug, Clone, Default)]
+pub struct DictSnapshot {
+    segments: Vec<Arc<DictSegment>>,
+    len: usize,
+}
+
+impl DictSnapshot {
+    /// Resolves an ID back to its term. Returns `None` for the
+    /// default-graph sentinel and for IDs never issued in this generation.
+    pub fn lookup(&self, id: TermId) -> Option<&Term> {
+        if id.0 == 0 || id.0 > self.len as u64 {
+            return None;
+        }
+        // Binary search for the segment whose range contains the ID.
+        let seg = match self
+            .segments
+            .binary_search_by(|s| s.first_id.cmp(&id.0))
+        {
+            Ok(i) => &self.segments[i],
+            Err(0) => return None,
+            Err(i) => &self.segments[i - 1],
+        };
+        seg.terms.get((id.0 - seg.first_id) as usize)
+    }
+
+    /// Looks up the ID of a term without interning it.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        let canonical = Dictionary::canonicalise(term);
+        let probe = canonical.as_ref();
+        // Probe newest segments first: recently interned terms are the
+        // common case for DML-heavy workloads.
+        self.segments
+            .iter()
+            .rev()
+            .find_map(|s| s.ids.get(probe).copied())
+    }
+
+    /// Number of distinct interned terms in this generation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when this generation holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.segments.iter().flat_map(|s| {
+            s.terms
+                .iter()
+                .enumerate()
+                .map(move |(i, t)| (TermId(s.first_id + i as u64), t))
+        })
+    }
+
+    /// Approximate heap bytes used by the stored lexical values (segment
+    /// totals are precomputed at freeze time, so this is O(#segments)).
+    pub fn approx_value_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.value_bytes).sum()
+    }
+}
+
+/// The writer-side dictionary of the MVCC store: frozen `Arc`-shared
+/// segments plus a mutable tail. [`DictBuilder::freeze`] seals the tail
+/// into a new segment and returns an immutable [`DictSnapshot`] sharing
+/// all segments. Adjacent segments are merged LSM-style (whenever the
+/// newest is at least as large as its predecessor), keeping the segment
+/// count — and thus [`DictSnapshot::get`] probe cost — logarithmic.
+#[derive(Debug, Default)]
+pub struct DictBuilder {
+    frozen: Vec<Arc<DictSegment>>,
+    frozen_len: usize,
+    tail_terms: Vec<Term>,
+    tail_ids: HashMap<Term, TermId>,
+}
+
+impl DictBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        DictBuilder::default()
+    }
+
+    /// Interns a term, returning its (possibly pre-existing) ID. Literals
+    /// are canonicalised exactly like [`Dictionary::intern`].
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        let canonical = Dictionary::canonicalise(term);
+        if let Some(id) = self.get_canonical(canonical.as_ref()) {
+            return id;
+        }
+        let owned = canonical.into_owned();
+        let id = TermId((self.frozen_len + self.tail_terms.len()) as u64 + 1);
+        self.tail_terms.push(owned.clone());
+        self.tail_ids.insert(owned, id);
+        id
+    }
+
+    /// Looks up the ID of a term without interning it.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        let canonical = Dictionary::canonicalise(term);
+        self.get_canonical(canonical.as_ref())
+    }
+
+    fn get_canonical(&self, probe: &Term) -> Option<TermId> {
+        if let Some(&id) = self.tail_ids.get(probe) {
+            return Some(id);
+        }
+        self.frozen
+            .iter()
+            .rev()
+            .find_map(|s| s.ids.get(probe).copied())
+    }
+
+    /// Total number of interned terms (frozen + tail).
+    pub fn len(&self) -> usize {
+        self.frozen_len + self.tail_terms.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Seals the mutable tail (if any) into a frozen segment and returns a
+    /// snapshot sharing every segment.
+    pub fn freeze(&mut self) -> DictSnapshot {
+        if !self.tail_terms.is_empty() {
+            let first_id = self.frozen_len as u64 + 1;
+            let terms = std::mem::take(&mut self.tail_terms);
+            self.tail_ids.clear();
+            self.frozen_len += terms.len();
+            self.frozen.push(Arc::new(DictSegment::new(first_id, terms)));
+            // LSM merge: fold the newest segment into its predecessor while
+            // it is at least as large, bounding the segment count at
+            // O(log n) without ever rewriting the big old segments.
+            while self.frozen.len() >= 2 {
+                let last = self.frozen.len() - 1;
+                if self.frozen[last].len() < self.frozen[last - 1].len() {
+                    break;
+                }
+                let newer = self.frozen.pop().expect("len checked");
+                let older = self.frozen.pop().expect("len checked");
+                let mut terms = older.terms.clone();
+                terms.extend(newer.terms.iter().cloned());
+                self.frozen
+                    .push(Arc::new(DictSegment::new(older.first_id, terms)));
+            }
+        }
+        DictSnapshot { segments: self.frozen.clone(), len: self.frozen_len }
+    }
+}
+
+fn term_value_bytes(t: &Term) -> usize {
+    match t {
+        Term::Iri(iri) => iri.as_str().len() + 16,
+        Term::Blank(b) => b.as_str().len() + 16,
+        Term::Literal(lit) => {
+            lit.lexical().len()
+                + lit.datatype_iri().map(|d| d.as_str().len()).unwrap_or(0)
+                + lit.lang().map(|l| l.len()).unwrap_or(0)
+                + 16
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +407,57 @@ mod tests {
         let before = d.approx_value_bytes();
         d.intern(&Term::iri("http://a-rather-long-iri/with/segments"));
         assert!(d.approx_value_bytes() > before);
+    }
+
+    #[test]
+    fn builder_matches_dictionary_semantics() {
+        let mut b = DictBuilder::new();
+        let a = b.intern(&Term::iri("http://pg/v1"));
+        assert_eq!(a, TermId(1));
+        assert_eq!(b.intern(&Term::iri("http://pg/v1")), a);
+        // Canonicalisation: value-equal numerics share an ID.
+        let n = b.intern(&Term::Literal(Literal::typed("023", Iri::new(xsd::INT))));
+        assert_eq!(b.intern(&Term::int(23)), n);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(&Term::iri("http://absent")), None);
+    }
+
+    #[test]
+    fn snapshots_are_stable_across_later_interning() {
+        let mut b = DictBuilder::new();
+        let a = b.intern(&Term::iri("http://a"));
+        let snap1 = b.freeze();
+        let c = b.intern(&Term::iri("http://c"));
+        let snap2 = b.freeze();
+        // IDs survive across freezes, both directions, in both snapshots.
+        assert_eq!(snap1.len(), 1);
+        assert_eq!(snap2.len(), 2);
+        assert_eq!(snap1.lookup(a), Some(&Term::iri("http://a")));
+        assert_eq!(snap1.lookup(c), None, "old snapshot must not see new terms");
+        assert_eq!(snap2.lookup(c), Some(&Term::iri("http://c")));
+        assert_eq!(snap2.get(&Term::iri("http://a")), Some(a));
+        assert_eq!(snap1.get(&Term::iri("http://c")), None);
+    }
+
+    #[test]
+    fn many_freezes_keep_lookups_consistent() {
+        let mut b = DictBuilder::new();
+        let mut ids = Vec::new();
+        for i in 0..100 {
+            ids.push(b.intern(&Term::iri(format!("http://t{i}"))));
+            // Freeze after every intern: worst case for segment churn.
+            let snap = b.freeze();
+            assert_eq!(snap.len(), i + 1);
+        }
+        let snap = b.freeze();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(snap.lookup(*id), Some(&Term::iri(format!("http://t{i}"))));
+            assert_eq!(snap.get(&Term::iri(format!("http://t{i}"))), Some(*id));
+        }
+        let pairs: Vec<TermId> = snap.iter().map(|(id, _)| id).collect();
+        assert_eq!(pairs, ids);
+        assert!(snap.approx_value_bytes() > 0);
+        assert_eq!(snap.lookup(TermId::DEFAULT_GRAPH), None);
+        assert_eq!(snap.lookup(TermId(101)), None);
     }
 }

@@ -18,7 +18,7 @@ pub mod triple;
 pub mod turtle;
 pub mod vocab;
 
-pub use dictionary::{Dictionary, TermId};
+pub use dictionary::{DictBuilder, DictSegment, DictSnapshot, Dictionary, TermId};
 pub use error::ModelError;
 pub use term::{BlankNode, Iri, Literal, Term};
 pub use triple::{GraphName, Quad, Triple};

@@ -133,9 +133,9 @@ struct SharedState {
 /// Evaluation context: the dataset plus the computed-terms side table.
 /// All interior mutability is thread-safe so morsel workers can share one
 /// context by reference.
-pub struct EvalCtx<'a> {
+pub struct EvalCtx {
     /// The dataset being queried.
-    pub view: DatasetView<'a>,
+    pub view: DatasetView,
     /// The query's variable table.
     pub vars: VarTable,
     /// Compiled EXISTS patterns (referenced by `CExpr::ExistsRef`).
@@ -157,15 +157,15 @@ struct Computed {
     ids: HashMap<Term, u64>,
 }
 
-impl<'a> EvalCtx<'a> {
+impl EvalCtx {
     /// Creates a context for one query execution.
-    pub fn new(view: DatasetView<'a>, vars: VarTable) -> Self {
+    pub fn new(view: DatasetView, vars: VarTable) -> Self {
         Self::with_exists(view, vars, Vec::new())
     }
 
     /// A context carrying compiled EXISTS patterns. Defaults to sequential
     /// execution; use [`Self::with_options`] to enable parallelism.
-    pub fn with_exists(view: DatasetView<'a>, vars: VarTable, exists: Vec<Node>) -> Self {
+    pub fn with_exists(view: DatasetView, vars: VarTable, exists: Vec<Node>) -> Self {
         EvalCtx {
             view,
             vars,
@@ -260,7 +260,7 @@ impl<'a> EvalCtx<'a> {
                 .get((id & !COMPUTED_BIT) as usize)
                 .cloned()
         } else {
-            self.view.store().term(TermId(id)).cloned()
+            self.view.term(TermId(id)).cloned()
         }
     }
 
@@ -274,14 +274,14 @@ impl<'a> EvalCtx<'a> {
                 .get((id & !COMPUTED_BIT) as usize)
                 .map(TermKind::of)
         } else {
-            self.view.store().term(TermId(id)).map(TermKind::of)
+            self.view.term(TermId(id)).map(TermKind::of)
         }
     }
 
     /// Interns a term: store ID when the term exists in the store, else a
     /// computed ID (stable within this execution, across all workers).
     pub fn intern_term(&self, term: &Term) -> u64 {
-        if let Some(id) = self.view.store().term_id(term) {
+        if let Some(id) = self.view.term_id(term) {
             return id.0;
         }
         if let Some(&id) = self.computed.read().unwrap().ids.get(term) {
@@ -343,7 +343,7 @@ impl<'a> EvalCtx<'a> {
 
 /// Expression environment over one row.
 pub struct RowEnv<'a> {
-    ctx: &'a EvalCtx<'a>,
+    ctx: &'a EvalCtx,
     row: &'a Row,
     aggs: Option<&'a [Value]>,
 }
@@ -387,7 +387,7 @@ pub enum QueryResults {
 /// Executes a compiled query against a dataset view with default options
 /// (auto-detected parallelism, no resource limits).
 pub fn execute_compiled(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     compiled: &CompiledQuery,
 ) -> Result<QueryResults, SparqlError> {
     execute_compiled_with_options(view, compiled, ExecOptions::default())
@@ -396,7 +396,7 @@ pub fn execute_compiled(
 /// Executes a compiled query under resource limits: exceeding the row
 /// budget or the deadline aborts with [`SparqlError::ResourceExhausted`].
 pub fn execute_compiled_with_limits(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     compiled: &CompiledQuery,
     limits: ExecLimits,
 ) -> Result<QueryResults, SparqlError> {
@@ -408,7 +408,7 @@ pub fn execute_compiled_with_limits(
 /// eligible plans run on the morsel-parallel executor; results are
 /// guaranteed identical to `threads == 1` sequential execution.
 pub fn execute_compiled_with_options(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     compiled: &CompiledQuery,
     options: ExecOptions,
 ) -> Result<QueryResults, SparqlError> {
@@ -472,7 +472,7 @@ pub fn execute_compiled_with_options(
 }
 
 /// Evaluates a SELECT pipeline, returning full-width rows (all slots).
-pub fn exec_select(ctx: &EvalCtx<'_>, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
+pub fn exec_select(ctx: &EvalCtx, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
     let mut rows: Vec<Row> = if sel.is_grouped() {
         grouped_rows(ctx, sel)?
     } else {
@@ -589,7 +589,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, ctx: &EvalCtx<'_>, agg: &CAggregate, row: &Row) {
+    fn update(&mut self, ctx: &EvalCtx, agg: &CAggregate, row: &Row) {
         let eval = |expr: &CExpr| {
             let env = RowEnv { ctx, row, aggs: None };
             expr.eval(&env)
@@ -682,7 +682,7 @@ impl Acc {
 /// Produces the grouped rows of a grouped SELECT, choosing between the
 /// parallel fused-aggregation path, ordered parallel production feeding
 /// the sequential aggregation loop, and the legacy streaming path.
-fn grouped_rows(ctx: &EvalCtx<'_>, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
+fn grouped_rows(ctx: &EvalCtx, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
     if ctx.threads > 1 {
         // Fused path: aggregate inside the morsel workers and merge
         // partial groups. Only when every aggregate merges losslessly.
@@ -703,7 +703,7 @@ fn grouped_rows(ctx: &EvalCtx<'_>, sel: &CSelect) -> Result<Vec<Row>, SparqlErro
 }
 
 fn group_and_aggregate(
-    ctx: &EvalCtx<'_>,
+    ctx: &EvalCtx,
     sel: &CSelect,
     solutions: BoxIter<'_>,
 ) -> Result<Vec<Row>, SparqlError> {
@@ -724,7 +724,7 @@ fn group_and_aggregate(
 /// Turns accumulated groups into output rows: default group for zero-row
 /// ungrouped aggregation, projection expressions, and HAVING.
 fn finalize_groups(
-    ctx: &EvalCtx<'_>,
+    ctx: &EvalCtx,
     sel: &CSelect,
     mut groups: HashMap<Vec<Option<u64>>, Vec<Acc>>,
     saw_rows: bool,
@@ -771,7 +771,7 @@ fn finalize_groups(
 }
 
 /// Evaluates one compiled node, streaming input rows through it.
-pub fn eval_node<'it>(ctx: &'it EvalCtx<'_>, node: &'it Node, input: BoxIter<'it>) -> BoxIter<'it> {
+pub fn eval_node<'it>(ctx: &'it EvalCtx, node: &'it Node, input: BoxIter<'it>) -> BoxIter<'it> {
     match node {
         Node::Steps(steps) => {
             let mut stream = input;
@@ -939,7 +939,7 @@ pub fn eval_node<'it>(ctx: &'it EvalCtx<'_>, node: &'it Node, input: BoxIter<'it
     }
 }
 
-fn eval_step<'it>(ctx: &'it EvalCtx<'_>, step: &'it Step, input: BoxIter<'it>) -> BoxIter<'it> {
+fn eval_step<'it>(ctx: &'it EvalCtx, step: &'it Step, input: BoxIter<'it>) -> BoxIter<'it> {
     match &step.strategy {
         Strategy::IndexNlj => Box::new(input.flat_map(move |row| {
             let mut out = Vec::new();
@@ -963,7 +963,7 @@ fn eval_step<'it>(ctx: &'it EvalCtx<'_>, step: &'it Step, input: BoxIter<'it>) -
 
 /// Builds a hash-join build side: the step's pattern scanned with
 /// constants only, keyed by the join positions.
-fn build_table(ctx: &EvalCtx<'_>, step: &Step, join_slots: &[usize]) -> BuildTable {
+fn build_table(ctx: &EvalCtx, step: &Step, join_slots: &[usize]) -> BuildTable {
     let mut table = BuildTable::default();
     if !step.triple.unsatisfiable() {
         let positions = key_positions(&step.triple, join_slots);
@@ -978,8 +978,8 @@ fn build_table(ctx: &EvalCtx<'_>, step: &Step, join_slots: &[usize]) -> BuildTab
 /// Lazily-built hash join: the build side is materialised into a hash
 /// table on first use — at most once per execution, shared across every
 /// worker and re-evaluation of the step — then probed per input row.
-struct HashJoinIter<'it, 'a> {
-    ctx: &'it EvalCtx<'a>,
+struct HashJoinIter<'it> {
+    ctx: &'it EvalCtx,
     step: &'it Step,
     join_slots: &'it [usize],
     input: BoxIter<'it>,
@@ -987,9 +987,9 @@ struct HashJoinIter<'it, 'a> {
     pending: std::vec::IntoIter<Row>,
 }
 
-impl<'it, 'a> HashJoinIter<'it, 'a> {
+impl<'it> HashJoinIter<'it> {
     fn new(
-        ctx: &'it EvalCtx<'a>,
+        ctx: &'it EvalCtx,
         step: &'it Step,
         join_slots: &'it [usize],
         input: BoxIter<'it>,
@@ -999,7 +999,7 @@ impl<'it, 'a> HashJoinIter<'it, 'a> {
     }
 }
 
-impl Iterator for HashJoinIter<'_, '_> {
+impl Iterator for HashJoinIter<'_> {
     type Item = Row;
 
     fn next(&mut self) -> Option<Row> {
@@ -1349,7 +1349,7 @@ fn root_union(node: &Node) -> bool {
 /// be (under optional FILTER wrappers) a non-empty Steps node, or a Join
 /// of an optional leading one-row VALUES pin, a non-empty Steps node, and
 /// `parallel_safe` siblings. The driving step must be an index scan.
-fn drive_plan<'p>(ctx: &EvalCtx<'_>, node: &'p Node) -> Option<DrivePlan<'p>> {
+fn drive_plan<'p>(ctx: &EvalCtx, node: &'p Node) -> Option<DrivePlan<'p>> {
     let mut filters: Vec<&'p [CExpr]> = Vec::new();
     let mut cur = node;
     while let Node::Filter(f, inner) = cur {
@@ -1412,11 +1412,11 @@ fn drive_plan<'p>(ctx: &EvalCtx<'_>, node: &'p Node) -> Option<DrivePlan<'p>> {
 /// eligible (sub-)plans on the morsel-parallel executor. Root UNIONs are
 /// split: each branch is produced fully (parallel where possible) and the
 /// outputs concatenated, which is precisely the sequential order.
-fn par_produce(ctx: &EvalCtx<'_>, root: &Node) -> Vec<Row> {
+fn par_produce(ctx: &EvalCtx, root: &Node) -> Vec<Row> {
     par_produce_stages(ctx, root, &[])
 }
 
-fn par_produce_stages<'p>(ctx: &EvalCtx<'_>, node: &'p Node, suffix: &[Stage<'p>]) -> Vec<Row> {
+fn par_produce_stages<'p>(ctx: &EvalCtx, node: &'p Node, suffix: &[Stage<'p>]) -> Vec<Row> {
     match node {
         Node::Union(a, b) => {
             let mut out = par_produce_stages(ctx, a, suffix);
@@ -1449,7 +1449,7 @@ fn par_produce_stages<'p>(ctx: &EvalCtx<'_>, node: &'p Node, suffix: &[Stage<'p>
 
 /// Runs one drive plan across all its morsels, merging worker outputs in
 /// morsel order.
-fn run_morsels(ctx: &EvalCtx<'_>, plan: &DrivePlan<'_>) -> Vec<Row> {
+fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>) -> Vec<Row> {
     let pattern = match probe_pattern(&plan.base, &plan.drive.triple) {
         Some(p) => p,
         None => return Vec::new(),
@@ -1508,7 +1508,7 @@ fn run_morsels(ctx: &EvalCtx<'_>, plan: &DrivePlan<'_>) -> Vec<Row> {
 
 /// Drives one morsel's scan and pushes its rows through the plan stages.
 fn run_one_morsel(
-    ctx: &EvalCtx<'_>,
+    ctx: &EvalCtx,
     plan: &DrivePlan<'_>,
     pattern: QuadPattern,
     morsel: &Morsel,
@@ -1531,7 +1531,7 @@ fn run_one_morsel(
     rows
 }
 
-fn apply_stage(ctx: &EvalCtx<'_>, stage: &Stage<'_>, rows: Vec<Row>) -> Vec<Row> {
+fn apply_stage(ctx: &EvalCtx, stage: &Stage<'_>, rows: Vec<Row>) -> Vec<Row> {
     match stage {
         Stage::Steps(steps) => {
             let mut rows = rows;
@@ -1559,7 +1559,7 @@ fn apply_stage(ctx: &EvalCtx<'_>, stage: &Stage<'_>, rows: Vec<Row>) -> Vec<Row>
 /// Batch mirror of [`eval_node`]: given the same input rows it produces
 /// the same output rows in the same order, without per-row boxed-iterator
 /// dispatch. Used by the morsel pipeline.
-fn eval_node_batch(ctx: &EvalCtx<'_>, node: &Node, rows: Vec<Row>) -> Vec<Row> {
+fn eval_node_batch(ctx: &EvalCtx, node: &Node, rows: Vec<Row>) -> Vec<Row> {
     match node {
         Node::Steps(steps) => {
             let mut rows = rows;
@@ -1741,7 +1741,7 @@ fn eval_node_batch(ctx: &EvalCtx<'_>, node: &Node, rows: Vec<Row>) -> Vec<Row> {
 }
 
 /// Batch mirror of [`eval_step`].
-fn eval_step_batch(ctx: &EvalCtx<'_>, step: &Step, rows: Vec<Row>) -> Vec<Row> {
+fn eval_step_batch(ctx: &EvalCtx, step: &Step, rows: Vec<Row>) -> Vec<Row> {
     match &step.strategy {
         Strategy::IndexNlj => {
             let mut out = Vec::new();
@@ -1853,7 +1853,7 @@ enum WalkOp<'p> {
 
 /// Flattens a drive plan's stages into walk operations, or `None` when a
 /// stage is not element-wise (a sibling Node — those need batch inputs).
-fn build_walk_ops<'p>(ctx: &EvalCtx<'_>, plan: &DrivePlan<'p>) -> Option<Vec<WalkOp<'p>>> {
+fn build_walk_ops<'p>(ctx: &EvalCtx, plan: &DrivePlan<'p>) -> Option<Vec<WalkOp<'p>>> {
     let mut ops = Vec::new();
     for stage in &plan.stages {
         match stage {
@@ -1903,7 +1903,7 @@ struct ProbeMemo {
 }
 
 impl WalkState {
-    fn produce(&mut self, ctx: &EvalCtx<'_>, n: u64) -> bool {
+    fn produce(&mut self, ctx: &EvalCtx, n: u64) -> bool {
         if self.stop {
             return false;
         }
@@ -1918,7 +1918,7 @@ impl WalkState {
         true
     }
 
-    fn flush(&mut self, ctx: &EvalCtx<'_>) {
+    fn flush(&mut self, ctx: &EvalCtx) {
         let n = std::mem::take(&mut self.pending);
         if n > 0 && !ctx.charge(n) {
             self.stop = true;
@@ -1929,7 +1929,7 @@ impl WalkState {
 /// Runs the remaining operations depth-first over the scratch row,
 /// invoking `sink` once per finished pipeline row.
 fn walk(
-    ctx: &EvalCtx<'_>,
+    ctx: &EvalCtx,
     ops: &[WalkOp<'_>],
     depth: usize,
     row: &mut Row,
@@ -1996,7 +1996,7 @@ fn walk(
 /// when the row already binds every position — pass the row through once
 /// per match without touching it.
 fn walk_probe(
-    ctx: &EvalCtx<'_>,
+    ctx: &EvalCtx,
     ops: &[WalkOp<'_>],
     depth: usize,
     step: &Step,
@@ -2053,7 +2053,7 @@ fn walk_probe(
 
 /// Walks one morsel of a drive plan, feeding finished rows to `sink`.
 fn walk_morsel(
-    ctx: &EvalCtx<'_>,
+    ctx: &EvalCtx,
     plan: &DrivePlan<'_>,
     ops: &[WalkOp<'_>],
     pattern: QuadPattern,
@@ -2161,7 +2161,7 @@ struct GroupedPartial {
 /// branch exactly once, so the aggregated multiset is unchanged). Returns
 /// `false` if any branch is not drivable.
 fn collect_plans<'p>(
-    ctx: &EvalCtx<'_>,
+    ctx: &EvalCtx,
     node: &'p Node,
     suffix: &[Stage<'p>],
     out: &mut Vec<DrivePlan<'p>>,
@@ -2211,7 +2211,7 @@ fn drive_sort_preference(plan: &DrivePlan<'_>, slot: usize) -> Option<usize> {
 
 /// Runs the fused parallel aggregation, or `None` when the aggregates or
 /// the plan shape rule it out.
-fn par_grouped(ctx: &EvalCtx<'_>, sel: &CSelect) -> Option<GroupedPartial> {
+fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
     let fast: Vec<FastAgg> = sel.aggregates.iter().map(fast_agg).collect::<Option<_>>()?;
     let mut plans: Vec<DrivePlan<'_>> = Vec::new();
     if !collect_plans(ctx, &sel.root, &[], &mut plans) {
@@ -2319,7 +2319,7 @@ struct RunSink {
 }
 
 impl RunSink {
-    fn push(&mut self, ctx: &EvalCtx<'_>, sel: &CSelect, fast: &[FastAgg], row: &Row) {
+    fn push(&mut self, ctx: &EvalCtx, sel: &CSelect, fast: &[FastAgg], row: &Row) {
         self.part.saw_rows = true;
         self.scratch.clear();
         self.scratch.extend(sel.group_slots.iter().map(|&s| row[s]));

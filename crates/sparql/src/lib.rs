@@ -10,7 +10,7 @@
 //! use quadstore::Store;
 //! use rdf_model::{Quad, Term};
 //!
-//! let mut store = Store::new();
+//! let store = Store::new();
 //! store.create_model("m").unwrap();
 //! store.bulk_load("m", &[
 //!     Quad::triple(Term::iri("http://pg/v1"), Term::iri("http://pg/k/name"),
@@ -64,7 +64,7 @@ pub fn query(store: &Store, dataset: &str, text: &str) -> Result<QueryResults, S
 
 /// Parses, compiles, and executes a query against a dataset view (e.g. a
 /// union of models, §3.2).
-pub fn query_view(view: &DatasetView<'_>, text: &str) -> Result<QueryResults, SparqlError> {
+pub fn query_view(view: &DatasetView, text: &str) -> Result<QueryResults, SparqlError> {
     let parsed = parse_query(text)?;
     let compiled = compile(view, &parsed)?;
     execute_compiled(view, &compiled)
@@ -130,8 +130,10 @@ pub fn explain_query(store: &Store, dataset: &str, text: &str) -> Result<String,
     Ok(explain::render(&compiled))
 }
 
-/// Parses and executes a SPARQL Update against a semantic model.
-pub fn update(store: &mut Store, model: &str, text: &str) -> Result<UpdateStats, SparqlError> {
+/// Parses and executes a SPARQL Update against a semantic model. Each
+/// statement applies atomically (see [`execute_update`]), so the store
+/// can be shared with concurrent readers.
+pub fn update(store: &Store, model: &str, text: &str) -> Result<UpdateStats, SparqlError> {
     let parsed = parse_update(text)?;
     execute_update(store, model, &parsed)
 }

@@ -25,7 +25,7 @@ use crate::plan::CPath;
 /// * neither bound → evaluation from every candidate start node (all
 ///   distinct subjects/objects touched by the path's predicates).
 pub fn eval_path_pairs(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     path: &CPath,
     graph: GraphConstraint,
     s: Option<u64>,
@@ -61,7 +61,7 @@ pub fn eval_path_pairs(
 
 /// All nodes reachable from `start` via `path` (distinct).
 pub fn forward(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     path: &CPath,
     graph: GraphConstraint,
     start: u64,
@@ -98,7 +98,7 @@ pub fn forward(
 
 /// All nodes that reach `end` via `path` (distinct).
 pub fn backward(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     path: &CPath,
     graph: GraphConstraint,
     end: u64,
@@ -140,7 +140,7 @@ enum Direction {
 }
 
 fn bfs(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     inner: &CPath,
     graph: GraphConstraint,
     start: u64,
@@ -170,7 +170,7 @@ fn bfs(
 }
 
 fn reaches(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     path: &CPath,
     graph: GraphConstraint,
     s: u64,
@@ -180,7 +180,7 @@ fn reaches(
 }
 
 fn scan_objects(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     graph: GraphConstraint,
     s: Option<u64>,
     p: u64,
@@ -195,7 +195,7 @@ fn scan_objects(
 }
 
 fn scan_subjects(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     graph: GraphConstraint,
     p: u64,
     o: Option<u64>,
@@ -212,7 +212,7 @@ fn scan_subjects(
 /// Candidate start nodes for a fully-unbound closure path: every distinct
 /// subject or object of quads using any predicate mentioned in the path.
 fn candidate_starts(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     path: &CPath,
     graph: GraphConstraint,
 ) -> Vec<u64> {
@@ -251,7 +251,7 @@ mod tests {
 
     /// Chain 1 -> 2 -> 3 -> 4 plus a cycle 4 -> 1.
     fn chain_store() -> Store {
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").unwrap();
         let f = "http://pg/r/follows";
         let quads: Vec<Quad> = [(1u32, 2u32), (2, 3), (3, 4), (4, 1)]
@@ -297,7 +297,7 @@ mod tests {
 
     #[test]
     fn zero_or_more_includes_start() {
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").unwrap();
         store
             .bulk_load(

@@ -375,13 +375,13 @@ impl Default for CompileOptions {
 /// Compiles a parsed query against a dataset (planning uses the dataset's
 /// statistics, so compilation is per-dataset, like a database prepare).
 /// Uses union-default-graph semantics; see [`compile_with`].
-pub fn compile(view: &DatasetView<'_>, query: &Query) -> Result<CompiledQuery, SparqlError> {
+pub fn compile(view: &DatasetView, query: &Query) -> Result<CompiledQuery, SparqlError> {
     compile_with(view, query, CompileOptions::default())
 }
 
 /// [`compile`] with explicit options.
 pub fn compile_with(
-    view: &DatasetView<'_>,
+    view: &DatasetView,
     query: &Query,
     options: CompileOptions,
 ) -> Result<CompiledQuery, SparqlError> {
@@ -408,17 +408,17 @@ pub fn compile_with(
     Ok(CompiledQuery { vars: c.vars, exists: c.exists, form })
 }
 
-struct Compiler<'a, 'b> {
-    view: &'a DatasetView<'b>,
+struct Compiler<'a> {
+    view: &'a DatasetView,
     vars: VarTable,
     options: CompileOptions,
     /// Compiled EXISTS patterns, shared across the whole query.
     exists: Vec<Node>,
 }
 
-impl Compiler<'_, '_> {
+impl Compiler<'_> {
     fn term_id(&self, term: &Term) -> Option<TermId> {
-        self.view.store().term_id(term)
+        self.view.term_id(term)
     }
 
     fn cpos(&mut self, vt: &VarOrTerm) -> CPos {
@@ -1186,7 +1186,7 @@ mod tests {
     use rdf_model::Quad;
 
     fn small_store() -> Store {
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").unwrap();
         let f = "http://pg/r/follows";
         let tag = "http://pg/k/hasTag";
@@ -1237,7 +1237,7 @@ mod tests {
         // model has only ~7 distinct values, so each probe fans out to
         // ~14 rows. The wide pattern joined by subject fans out to ~1.
         // Stats-based ordering must run wide before narrow.
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").unwrap();
         let mut quads = Vec::new();
         for i in 0..200 {

@@ -24,55 +24,45 @@ pub struct UpdateStats {
 }
 
 /// Executes an update against the named semantic model of the store.
+///
+/// Each update statement runs as one [`quadstore::WriteBatch`]: the WHERE
+/// pattern (if any) is evaluated against the published generation first,
+/// then every delete and insert of the statement is applied to a private
+/// draft and published in a single atomic swap. Concurrent readers see
+/// either none or all of a statement's quads — never a torn prefix.
 pub fn execute_update(
-    store: &mut Store,
+    store: &Store,
     model: &str,
     update: &Update,
 ) -> Result<UpdateStats, SparqlError> {
     let mut stats = UpdateStats::default();
-    match update {
-        Update::InsertData(templates) => {
-            let quads = ground_quads(templates)?;
-            for quad in &quads {
-                if store.insert(model, quad)? {
-                    stats.inserted += 1;
-                }
-            }
-        }
-        Update::DeleteData(templates) => {
-            let quads = ground_quads(templates)?;
-            for quad in &quads {
-                if store.remove(model, quad)? {
-                    stats.deleted += 1;
-                }
-            }
-        }
+    // Evaluate WHERE clauses before taking the writer lock: reads need
+    // only a pinned snapshot and must not serialize behind other writers.
+    let (deletes, inserts) = match update {
+        Update::InsertData(templates) => (Vec::new(), ground_quads(templates)?),
+        Update::DeleteData(templates) => (ground_quads(templates)?, Vec::new()),
         Update::DeleteWhere(templates) => {
             let pattern = templates_to_pattern(templates);
             let solutions = run_pattern(store, model, &pattern)?;
-            let deletes = instantiate(templates, &solutions);
-            for quad in &deletes {
-                if store.remove(model, quad)? {
-                    stats.deleted += 1;
-                }
-            }
+            (instantiate(templates, &solutions), Vec::new())
         }
         Update::Modify { delete, insert, pattern } => {
             let solutions = run_pattern(store, model, pattern)?;
-            let deletes = instantiate(delete, &solutions);
-            let inserts = instantiate(insert, &solutions);
-            for quad in &deletes {
-                if store.remove(model, quad)? {
-                    stats.deleted += 1;
-                }
-            }
-            for quad in &inserts {
-                if store.insert(model, quad)? {
-                    stats.inserted += 1;
-                }
-            }
+            (instantiate(delete, &solutions), instantiate(insert, &solutions))
+        }
+    };
+    let mut batch = store.begin();
+    for quad in &deletes {
+        if batch.remove(model, quad)? {
+            stats.deleted += 1;
         }
     }
+    for quad in &inserts {
+        if batch.insert(model, quad)? {
+            stats.inserted += 1;
+        }
+    }
+    batch.commit();
     Ok(stats)
 }
 

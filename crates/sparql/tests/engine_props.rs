@@ -33,7 +33,7 @@ fn rand_store(seed: u64) -> Store {
         .map(|_| (r.below(6), r.below(4), r.below(8), r.below(4)))
         .collect();
     {
-        let mut store = Store::new();
+        let store = Store::new();
         store.create_model("m").expect("fresh model");
         let quads: Vec<Quad> = rows
             .into_iter()

@@ -7,7 +7,7 @@ use rdf_model::{GraphName, Literal, Quad, Term};
 use sparql::{QueryResults, Solutions};
 
 fn store() -> Store {
-    let mut store = Store::new();
+    let store = Store::new();
     store.create_model("m").expect("model");
     let t = |s: &str, p: &str, o: Term| {
         Quad::triple(Term::iri(s), Term::iri(p), o).expect("valid")
@@ -198,7 +198,7 @@ fn ask_true_and_false() {
 
 #[test]
 fn repeated_variable_in_pattern() {
-    let mut store = Store::new();
+    let store = Store::new();
     store.create_model("m").unwrap();
     store
         .bulk_load(

@@ -8,7 +8,7 @@ use sparql::{query, query_with_limits, ExecLimits, QueryResults, SparqlError};
 
 /// A store where `?a ?p ?x . ?b ?p ?y` explodes quadratically.
 fn dense_store(n: u32) -> Store {
-    let mut store = Store::new();
+    let store = Store::new();
     store.create_model("m").expect("model");
     let quads: Vec<Quad> = (0..n)
         .map(|i| {

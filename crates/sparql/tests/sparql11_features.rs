@@ -6,7 +6,7 @@ use rdf_model::{GraphName, Quad, Term};
 use sparql::QueryResults;
 
 fn store() -> Store {
-    let mut store = Store::new();
+    let store = Store::new();
     store.create_model("m").expect("model");
     let t = |s: &str, p: &str, o: Term| {
         Quad::triple(Term::iri(s), Term::iri(p), o).expect("valid")
@@ -179,7 +179,7 @@ fn construct_skips_invalid_instantiations() {
 fn construct_roundtrips_the_ng_encoding() {
     // CONSTRUCT can re-encode NG topology as plain triples: the
     // "publish as linked data" story of the paper's introduction.
-    let mut store = Store::new();
+    let store = Store::new();
     store.create_model("pg").unwrap();
     store
         .bulk_load(

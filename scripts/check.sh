@@ -12,6 +12,13 @@ cargo test -q
 # bugs actually surface.
 cargo test --release -q --test parallel_equivalence
 
+# MVCC snapshot isolation under real concurrency: writers toggling
+# multi-quad edge shapes in all three encodings while readers run the
+# paper's query families against pinned snapshots. Release mode only —
+# torn reads and publish races need optimized codegen to surface.
+cargo test --release -q --test concurrent_snapshots
+
 # Bench harness smoke run: every section (including the PR2
-# parallel/plan-cache artifact) must complete on a small fixture.
+# parallel/plan-cache artifact and the PR3 snapshot-isolated read
+# scaling artifact) must complete on a small fixture.
 cargo run --release -q --bin repro -- --scale 0.01

@@ -46,7 +46,7 @@ fn different_query_text_is_a_separate_entry() {
 #[test]
 fn update_dml_evicts_stale_plans() {
     for model in PgRdfModel::ALL {
-        let mut s = store(model);
+        let s = store(model);
         let q = "PREFIX key: <http://pg/k/>\n\
                  SELECT ?v WHERE { ?v key:city \"Cambridge\" }";
         let before = s.select(q).unwrap();
@@ -75,9 +75,9 @@ fn update_dml_evicts_stale_plans() {
 
 #[test]
 fn every_store_mutator_bumps_the_epoch() {
-    let mut store = Store::new();
+    let store = Store::new();
     let mut last = store.epoch();
-    let mut bumped = |store: &Store, what: &str, last: &mut u64| {
+    let bumped = |store: &Store, what: &str, last: &mut u64| {
         assert!(store.epoch() > *last, "{what} must bump the epoch");
         *last = store.epoch();
     };
@@ -125,6 +125,55 @@ fn durable_store_dml_bumps_epoch() {
     ds.remove("m", &quad).unwrap();
     assert!(ds.store().epoch() > epoch_after_insert);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The MVCC variant of the stale-plan race: cache entries must be
+/// validated against the epoch of the *snapshot* a query is pinned to,
+/// never the live store's. Otherwise a query racing with DML could replay
+/// a plan whose constant IDs were resolved against a different dictionary
+/// generation than the data it scans. Pinned snapshots make the racy
+/// interleaving deterministic.
+#[test]
+fn cached_plans_validate_against_the_snapshot_epoch() {
+    for model in PgRdfModel::ALL {
+        let s = store(model);
+        let q = "PREFIX key: <http://pg/k/>\n\
+                 SELECT ?v WHERE { ?v key:city \"Cambridge\" }";
+
+        // Compile under the pre-DML generation: "Cambridge" is not in the
+        // dictionary, so the plan bakes in an unsatisfiable constant.
+        let snap_before = s.snapshot();
+        assert_eq!(s.select_at(&snap_before, q).unwrap().len(), 0, "{model}");
+        assert_eq!(s.plan_cache().compiles(), 1, "{model}");
+
+        s.update(
+            "PREFIX key: <http://pg/k/>\n\
+             INSERT DATA { <http://pg/v2> key:city \"Cambridge\" }",
+        )
+        .unwrap();
+
+        // A query pinned to the post-DML generation must not replay the
+        // stale plan: its snapshot's epoch differs from the entry's stamp.
+        let snap_after = s.snapshot();
+        assert!(snap_after.epoch() > snap_before.epoch(), "{model}");
+        assert_eq!(
+            s.select_at(&snap_after, q).unwrap().len(),
+            1,
+            "{model}: stale plan replayed against a newer snapshot"
+        );
+        assert!(s.plan_cache().invalidations() >= 1, "{model}");
+
+        // And the pre-DML snapshot revalidates against *its own* epoch:
+        // the plan now cached was compiled under the newer dictionary, so
+        // it must be recompiled rather than replayed, and the old
+        // generation still shows the old (empty) result.
+        assert_eq!(
+            s.select_at(&snap_before, q).unwrap().len(),
+            0,
+            "{model}: old snapshot must keep its pre-DML result"
+        );
+        assert_eq!(s.plan_cache().compiles(), 3, "{model}");
+    }
 }
 
 /// Dropping an index changes the physical design, so the same query text

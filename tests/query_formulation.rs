@@ -116,7 +116,7 @@ fn paper_query_texts_run_verbatim_on_figure1_vocab() {
 fn intro_uncle_query_runs() {
     // The introduction's 4-way-join example: "find the company that
     // John's uncle works for".
-    let mut store = quadstore::Store::new();
+    let store = quadstore::Store::new();
     store.create_model("m").unwrap();
     let t = |s: &str, p: &str, o: rdf_model::Term| {
         rdf_model::Quad::triple(rdf_model::Term::iri(s), rdf_model::Term::iri(p), o).unwrap()

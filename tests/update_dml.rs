@@ -12,7 +12,7 @@ fn store(model: PgRdfModel) -> PgRdfStore {
 #[test]
 fn insert_node_kv_is_visible_to_queries() {
     for model in PgRdfModel::ALL {
-        let mut s = store(model);
+        let s = store(model);
         let stats = s
             .update(
                 "PREFIX key: <http://pg/k/>\n\
@@ -41,7 +41,7 @@ fn delete_where_locates_and_removes_edge_kvs() {
     // Remove the since KV from the follows edge — per model, the located
     // quads differ (triple for RF/SP, named-graph quad for NG).
     for model in PgRdfModel::ALL {
-        let mut s = store(model);
+        let s = store(model);
         let text = match model {
             PgRdfModel::NG => {
                 "PREFIX key: <http://pg/k/>\n\
@@ -63,7 +63,7 @@ fn delete_where_locates_and_removes_edge_kvs() {
 
 #[test]
 fn modify_rewrites_a_kv() {
-    let mut s = store(PgRdfModel::SP);
+    let s = store(PgRdfModel::SP);
     let stats = s
         .update(
             "PREFIX key: <http://pg/k/>\n\
@@ -82,7 +82,7 @@ fn modify_rewrites_a_kv() {
 
 #[test]
 fn delete_data_requires_exact_quad() {
-    let mut s = store(PgRdfModel::NG);
+    let s = store(PgRdfModel::NG);
     // Wrong graph: the NG edge quad lives in <http://pg/e3>, so deleting
     // the bare triple is a no-op.
     let stats = s
@@ -105,7 +105,7 @@ fn delete_data_requires_exact_quad() {
 #[test]
 fn update_then_query_roundtrip_adds_edge() {
     // Add a whole new edge in the NG encoding via INSERT DATA.
-    let mut s = store(PgRdfModel::NG);
+    let s = store(PgRdfModel::NG);
     let stats = s
         .update(
             "PREFIX rel: <http://pg/r/>\n\
@@ -125,14 +125,14 @@ fn update_then_query_roundtrip_adds_edge() {
 
 #[test]
 fn ground_data_with_variables_is_rejected() {
-    let mut s = store(PgRdfModel::NG);
+    let s = store(PgRdfModel::NG);
     let err = s.update("INSERT DATA { ?x <http://p> <http://o> }");
     assert!(err.is_err());
 }
 
 #[test]
 fn idempotent_inserts_count_once() {
-    let mut s = store(PgRdfModel::NG);
+    let s = store(PgRdfModel::NG);
     let text = "PREFIX key: <http://pg/k/>\n\
                 INSERT DATA { <http://pg/v1> key:vip true }";
     assert_eq!(s.update(text).unwrap().inserted, 1);
