@@ -8,12 +8,22 @@
 //! pgq --snap DIR ...                    # load a SNAP egonets directory
 //! pgq --demo --workers 8 --replay q.rq  # replay a query file from 8
 //!                                       # threads over one shared store
+//! pgq --demo --profile QUERY            # EXPLAIN ANALYZE + profile JSON
+//! pgq --demo --metrics QUERY            # Prometheus metrics dump
 //! ```
 //!
 //! Replay files hold one query per paragraph: queries are separated by
 //! blank lines, and lines starting with `#` are comments. All workers
 //! share a single store — snapshot isolation means no locking between
-//! them — and the aggregate throughput is reported on stderr.
+//! them — and the aggregate throughput plus per-query p50/p95/p99
+//! latency is reported on stderr.
+//!
+//! `--profile` runs the query through the profiled sequential executor
+//! and prints its `EXPLAIN ANALYZE` text followed by the structured
+//! `QueryProfile` as JSON. `--metrics` enables the telemetry layer for
+//! the whole run and dumps the global registry in Prometheus text
+//! exposition format after the work completes; both flags compose with
+//! any load/query/replay mode.
 
 use std::io::Read as _;
 use std::time::Instant;
@@ -28,6 +38,8 @@ struct Args {
     partitioned: bool,
     json: bool,
     explain: bool,
+    profile: bool,
+    metrics: bool,
     demo: bool,
     generate: Option<f64>,
     out: Option<String>,
@@ -41,6 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: pgq [--graph FILE.tsv | --snap DIR | --demo | --generate SCALE --out FILE]\n\
          \x20          [--model ng|sp|rf] [--partitioned] [--json] [--explain]\n\
+         \x20          [--profile] [--metrics]\n\
          \x20          [--workers N] [--replay FILE.rq] [--repeat N] [QUERY|-]"
     );
     std::process::exit(2);
@@ -54,6 +67,8 @@ fn parse_args() -> Args {
         partitioned: false,
         json: false,
         explain: false,
+        profile: false,
+        metrics: false,
         demo: false,
         generate: None,
         out: None,
@@ -78,6 +93,8 @@ fn parse_args() -> Args {
             "--partitioned" => args.partitioned = true,
             "--json" => args.json = true,
             "--explain" => args.explain = true,
+            "--profile" => args.profile = true,
+            "--metrics" => args.metrics = true,
             "--demo" => args.demo = true,
             "--generate" => args.generate = argv.next().and_then(|s| s.parse().ok()),
             "--out" => args.out = argv.next(),
@@ -97,6 +114,12 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+
+    // Turn the engine counters on before any load/query work so the
+    // final dump covers the whole run.
+    if args.metrics || args.profile {
+        telemetry::set_enabled(true);
+    }
 
     if let Some(scale) = args.generate {
         let graph = twittergen::generate(&twittergen::TwitterGenConfig::at_scale(scale));
@@ -178,6 +201,7 @@ fn main() {
             fail("replay: no queries (file empty, or missing QUERY argument)");
         }
         replay(&store, &queries, args.workers.max(1), args.repeat.max(1));
+        dump_metrics(&args);
         return;
     }
 
@@ -188,6 +212,18 @@ fn main() {
             Ok(plan) => println!("{plan}"),
             Err(e) => fail(&format!("explain: {e}")),
         }
+        return;
+    }
+
+    if args.profile {
+        match store.select_profiled(&query) {
+            Ok((_sols, profile)) => {
+                println!("{}", profile.analyze);
+                println!("{}", profile.to_json());
+            }
+            Err(e) => fail(&format!("profile: {e}")),
+        }
+        dump_metrics(&args);
         return;
     }
 
@@ -206,6 +242,15 @@ fn main() {
             }
         }
         Err(e) => fail(&format!("query: {e}")),
+    }
+    dump_metrics(&args);
+}
+
+/// Dumps the global metrics registry in Prometheus text exposition
+/// format when `--metrics` was passed.
+fn dump_metrics(args: &Args) {
+    if args.metrics {
+        print!("{}", telemetry::global().render_prometheus());
     }
 }
 
@@ -232,33 +277,47 @@ fn split_queries(text: &str) -> Vec<String> {
 }
 
 /// Replays the query list `repeat` times from each of `workers` threads
-/// against one shared store and reports aggregate throughput. A warm-up
-/// pass populates the plan cache first, so the timed region measures
-/// concurrent execution, not compilation.
+/// against one shared store and reports aggregate throughput plus
+/// per-query p50/p95/p99 latency. A warm-up pass populates the plan
+/// cache first, so the timed region measures concurrent execution, not
+/// compilation.
 fn replay(store: &PgRdfStore, queries: &[String], workers: usize, repeat: usize) {
     for q in queries {
         store.query(q).unwrap_or_else(|e| fail(&format!("replay warm-up: {e}")));
     }
     let t0 = Instant::now();
-    let rows: usize = std::thread::scope(|scope| {
+    let (rows, mut latencies): (usize, Vec<Vec<u64>>) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
                     let mut rows = 0usize;
+                    let mut lat: Vec<Vec<u64>> =
+                        vec![Vec::with_capacity(repeat); queries.len()];
                     for _ in 0..repeat {
-                        for q in queries {
+                        for (i, q) in queries.iter().enumerate() {
+                            let start = Instant::now();
                             match store.query(q) {
                                 Ok(sparql::QueryResults::Solutions(s)) => rows += s.len(),
                                 Ok(_) => rows += 1,
                                 Err(e) => fail(&format!("replay: {e}")),
                             }
+                            lat[i].push(start.elapsed().as_nanos() as u64);
                         }
                     }
-                    rows
+                    (rows, lat)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("replay worker panicked")).sum()
+        let mut rows = 0usize;
+        let mut merged: Vec<Vec<u64>> = vec![Vec::new(); queries.len()];
+        for handle in handles {
+            let (r, lat) = handle.join().expect("replay worker panicked");
+            rows += r;
+            for (i, samples) in lat.into_iter().enumerate() {
+                merged[i].extend(samples);
+            }
+        }
+        (rows, merged)
     });
     let elapsed = t0.elapsed();
     let total = workers * repeat * queries.len();
@@ -270,6 +329,35 @@ fn replay(store: &PgRdfStore, queries: &[String], workers: usize, repeat: usize)
         elapsed.as_secs_f64(),
         total as f64 / elapsed.as_secs_f64(),
     );
+    for (i, samples) in latencies.iter_mut().enumerate() {
+        samples.sort_unstable();
+        eprintln!(
+            "  q{:<2} {:>5} samples: p50={} p95={} p99={} max={}",
+            i + 1,
+            samples.len(),
+            fmt_nanos(percentile(samples, 0.50)),
+            fmt_nanos(percentile(samples, 0.95)),
+            fmt_nanos(percentile(samples, 0.99)),
+            fmt_nanos(*samples.last().expect("non-empty samples")),
+        );
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample list.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Human formatting for nanosecond figures.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    }
 }
 
 fn fail(msg: &str) -> ! {

@@ -23,6 +23,7 @@
 pub mod cardinality;
 pub mod convert;
 pub mod error;
+pub mod metrics;
 pub mod partition;
 pub mod publish;
 pub mod queries;
@@ -32,6 +33,7 @@ pub mod vocab;
 
 pub use convert::{convert, convert_with, ConvertOptions, PgRdfModel};
 pub use error::CoreError;
+pub use metrics::SlowQuery;
 pub use queries::QuerySet;
 pub use store::{LoadOptions, PartitionLayout, PgRdfStore};
 pub use vocab::PgVocab;

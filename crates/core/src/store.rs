@@ -1,13 +1,21 @@
 //! The high-level facade: load a property graph into the RDF store under
 //! one of the three models and query it with SPARQL.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
 use propertygraph::PropertyGraph;
 use quadstore::{IndexKind, ModelStats, Snapshot, StorageReport, Store};
 use rdf_model::Quad;
-use sparql::{ExecOptions, PlanCache, QueryResults, Solutions, UpdateStats};
+use sparql::{
+    CompiledQuery, ExecOptions, PlanCache, QueryProfile, QueryResults, Solutions, UpdateStats,
+};
 
 use crate::convert::{convert_with, ConvertOptions, PgRdfModel};
 use crate::error::CoreError;
+use crate::metrics::SlowQuery;
 use crate::partition::{classify, PartitionNames, QuadClass};
 use crate::queries::QuerySet;
 use crate::roundtrip;
@@ -80,7 +88,15 @@ pub struct PgRdfStore {
     /// validated against [`Store::epoch`], so any DML/DDL through this
     /// handle (or recovery replay) silently evicts stale plans.
     plan_cache: PlanCache,
+    /// Slow-query trigger in nanoseconds; 0 disables the log entirely
+    /// (the default), so the query hot path pays one relaxed load.
+    slow_threshold_nanos: AtomicU64,
+    /// Bounded ring of the most recent queries over the threshold.
+    slow_log: Mutex<VecDeque<SlowQuery>>,
 }
+
+/// Retained slow-query entries before the oldest is dropped.
+const SLOW_LOG_CAP: usize = 64;
 
 impl PgRdfStore {
     /// Loads a property graph with default options (monolithic layout,
@@ -165,6 +181,8 @@ impl PgRdfStore {
             layout: options.layout,
             base: options.base_name,
             plan_cache: PlanCache::default(),
+            slow_threshold_nanos: AtomicU64::new(0),
+            slow_log: Mutex::new(VecDeque::new()),
         })
     }
 
@@ -241,7 +259,120 @@ impl PgRdfStore {
                 let parsed = sparql::parse_query(text)?;
                 sparql::compile_with(&view, &parsed, copts)
             })?;
-        Ok(sparql::execute_compiled_with_options(&view, &plan, options)?)
+        // One relaxed bool load + one relaxed u64 load decide whether this
+        // query is timed at all — the telemetry-off cost of the facade.
+        let track = telemetry::enabled() || self.slow_threshold_nanos.load(Ordering::Relaxed) > 0;
+        let start = track.then(Instant::now);
+        let results = sparql::execute_compiled_with_options(&view, &plan, options)?;
+        if let Some(start) = start {
+            let rows = match &results {
+                QueryResults::Solutions(s) => s.len() as u64,
+                QueryResults::Boolean(_) => 0,
+                QueryResults::Graph(g) => g.len() as u64,
+            };
+            self.observe(text, dataset, &plan, start.elapsed().as_nanos() as u64, rows);
+        }
+        Ok(results)
+    }
+
+    /// Records one finished query into the family-latency histogram and,
+    /// when over the configured threshold, the slow-query log.
+    fn observe(&self, text: &str, dataset: &str, plan: &CompiledQuery, wall_nanos: u64, rows: u64) {
+        let family = crate::metrics::family(plan);
+        if telemetry::enabled() {
+            crate::metrics::family_latency(family).record(wall_nanos);
+        }
+        let threshold = self.slow_threshold_nanos.load(Ordering::Relaxed);
+        if threshold > 0 && wall_nanos >= threshold {
+            let mut log = self.slow_log.lock().expect("slow log poisoned");
+            if log.len() >= SLOW_LOG_CAP {
+                log.pop_front();
+            }
+            log.push_back(SlowQuery {
+                query: text.to_string(),
+                dataset: dataset.to_string(),
+                family,
+                wall_nanos,
+                result_rows: rows,
+            });
+        }
+    }
+
+    /// Sets the slow-query threshold: any query whose end-to-end
+    /// execution takes at least `nanos` is retained in the slow-query log
+    /// (newest 64 entries). `0` disables the log. Works
+    /// independently of the global [`telemetry::enabled`] flag.
+    pub fn set_slow_query_threshold(&self, nanos: u64) {
+        self.slow_threshold_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The retained slow-query entries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log
+            .lock()
+            .expect("slow log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Runs a SELECT with per-step profiling and returns its solutions
+    /// together with the full [`QueryProfile`] (plan text,
+    /// `EXPLAIN ANALYZE` text, per-step actuals, compile/cache facts).
+    /// Profiled execution pins one worker thread so actual row counts
+    /// attribute exactly to plan steps.
+    pub fn select_profiled(&self, text: &str) -> Result<(Solutions, QueryProfile), CoreError> {
+        self.select_profiled_in(&self.dataset_name(), text, ExecOptions::default())
+    }
+
+    /// [`Self::select_profiled`] against an explicit dataset with explicit
+    /// execution options (threads are forced to 1 during profiling).
+    pub fn select_profiled_in(
+        &self,
+        dataset: &str,
+        text: &str,
+        options: ExecOptions,
+    ) -> Result<(Solutions, QueryProfile), CoreError> {
+        let snapshot = self.store.snapshot();
+        let view = snapshot.dataset(dataset)?;
+        let key = format!("{dataset}={}", view.index_signature());
+        let copts = sparql::CompileOptions::default();
+        let compiled_fresh = std::cell::Cell::new(false);
+        let compile_start = Instant::now();
+        let plan = self
+            .plan_cache
+            .get_or_compile(&key, text, copts, snapshot.epoch(), || {
+                compiled_fresh.set(true);
+                let parsed = sparql::parse_query(text)?;
+                sparql::compile_with(&view, &parsed, copts)
+            })?;
+        let compile_nanos = if compiled_fresh.get() {
+            compile_start.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
+        let (results, prof) = sparql::execute_profiled(&view, &plan, options)?;
+        let sols = match results {
+            QueryResults::Solutions(s) => s,
+            QueryResults::Boolean(_) | QueryResults::Graph(_) => {
+                return Err(CoreError::Sparql(sparql::SparqlError::Unsupported(
+                    "expected a SELECT query".into(),
+                )))
+            }
+        };
+        self.observe(text, dataset, &plan, prof.wall_nanos, sols.len() as u64);
+        let profile = QueryProfile {
+            query: text.to_string(),
+            dataset: dataset.to_string(),
+            plan: sparql::explain::render(&plan),
+            analyze: sparql::explain::render_analyze(&plan, &prof),
+            steps: sparql::explain::step_profiles(&plan, &prof),
+            result_rows: sols.len() as u64,
+            wall_nanos: prof.wall_nanos,
+            compile_nanos,
+            cache_hit: !compiled_fresh.get(),
+        };
+        Ok((sols, profile))
     }
 
     /// Pins the store's current MVCC generation. Queries run via
@@ -458,6 +589,8 @@ impl PgRdfStore {
             layout: layout.ok_or_else(bad_meta)?,
             base: base.ok_or_else(bad_meta)?,
             plan_cache: PlanCache::default(),
+            slow_threshold_nanos: AtomicU64::new(0),
+            slow_log: Mutex::new(VecDeque::new()),
         })
     }
 }
@@ -574,6 +707,44 @@ mod tests {
             part.update("INSERT DATA { <http://x> <http://y> <http://z> }"),
             Err(CoreError::UpdateOnPartitioned)
         ));
+    }
+
+    #[test]
+    fn select_profiled_reports_actuals_and_cache() {
+        let graph = PropertyGraph::sample_figure1();
+        let store = PgRdfStore::load(&graph, PgRdfModel::NG).unwrap();
+        let q = store.queries().q2_edge_kvs();
+        let (sols, p1) = store.select_profiled(&q).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert!(!p1.cache_hit, "first run must compile");
+        assert!(p1.compile_nanos > 0);
+        assert_eq!(p1.result_rows, 1);
+        assert!(!p1.steps.is_empty());
+        assert!(p1.analyze.contains("(actual:"), "{}", p1.analyze);
+        assert!(p1.steps.iter().any(|s| s.executed && s.loops >= 1));
+        // Second run replays the cached plan: no compile time billed.
+        let (_, p2) = store.select_profiled(&q).unwrap();
+        assert!(p2.cache_hit);
+        assert_eq!(p2.compile_nanos, 0);
+    }
+
+    #[test]
+    fn slow_query_log_captures_over_threshold() {
+        let graph = PropertyGraph::sample_figure1();
+        let store = PgRdfStore::load(&graph, PgRdfModel::NG).unwrap();
+        let q = store.queries().q2_edge_kvs();
+        store.select(&q).unwrap();
+        assert!(store.slow_queries().is_empty(), "log off by default");
+        store.set_slow_query_threshold(1);
+        store.select(&q).unwrap();
+        let log = store.slow_queries();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].family, "select");
+        assert_eq!(log[0].query, q);
+        assert!(log[0].wall_nanos >= 1);
+        store.set_slow_query_threshold(0);
+        store.select(&q).unwrap();
+        assert_eq!(store.slow_queries().len(), 1, "disabled log must not grow");
     }
 
     #[test]

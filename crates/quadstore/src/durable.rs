@@ -107,6 +107,9 @@ impl DurableStore {
         let wal = wal_path(&self.dir, self.epoch);
         let frame = record.to_frame();
         retry_interrupted(|| self.vfs.append(&wal, &frame)).map_err(io_err)?;
+        if telemetry::enabled() {
+            crate::metrics::wal_appends().inc();
+        }
         self.unsynced += 1;
         let flush = match self.policy {
             SyncPolicy::Always => true,
@@ -123,7 +126,10 @@ impl DurableStore {
     pub fn sync(&mut self) -> Result<(), StoreError> {
         if self.unsynced > 0 {
             let wal = wal_path(&self.dir, self.epoch);
+            let span = telemetry::enabled()
+                .then(|| crate::metrics::wal_fsync_nanos().span());
             retry_interrupted(|| self.vfs.sync_file(&wal)).map_err(io_err)?;
+            drop(span);
             self.unsynced = 0;
         }
         Ok(())

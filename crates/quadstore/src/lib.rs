@@ -28,6 +28,7 @@ pub mod error;
 pub mod faults;
 pub mod ids;
 pub mod index;
+pub(crate) mod metrics;
 pub mod model;
 pub mod persist;
 pub mod stats;

@@ -32,6 +32,41 @@ impl AccessPath {
     }
 }
 
+/// Flush-on-drop scan accounting: counts rows the scan actually yields
+/// and adds them to the chosen index's `rows_matched` series once, when
+/// the iterator is dropped. With telemetry disabled (`metrics: None`)
+/// the per-row cost is a predictable untaken branch.
+struct ScanTally<I> {
+    inner: I,
+    matched: u64,
+    metrics: Option<Arc<crate::metrics::IndexMetrics>>,
+}
+
+impl<I: Iterator> Iterator for ScanTally<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        let item = self.inner.next();
+        if self.metrics.is_some() && item.is_some() {
+            self.matched += 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I> Drop for ScanTally<I> {
+    fn drop(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.rows_matched.add(self.matched);
+        }
+    }
+}
+
 /// One semantic model: a set of quads plus its local indexes.
 ///
 /// Cloning is the copy-on-write primitive of the MVCC store: the sorted
@@ -164,6 +199,9 @@ impl SemanticModel {
         if self.delta_added.is_empty() && self.delta_removed.is_empty() {
             return;
         }
+        if telemetry::enabled() {
+            crate::metrics::compactions().inc();
+        }
         let all: Vec<EncodedQuad> = self.iter_all().collect();
         self.rebuild(all);
     }
@@ -270,6 +308,11 @@ impl SemanticModel {
 
     /// Scans quads matching `pattern` through the best index, overlaying
     /// the DML delta.
+    ///
+    /// When [`telemetry::enabled`], the scan accounts one range scan,
+    /// the scanned key-span length, and (via a flush-on-drop tally) the
+    /// rows that survive the residual filter, per chosen index kind;
+    /// rows served from the delta overlay count as delta hits.
     pub fn scan<'a>(&'a self, pattern: QuadPattern) -> impl Iterator<Item = EncodedQuad> + 'a {
         let path = self.choose_index(&pattern);
         let idx = self
@@ -277,14 +320,31 @@ impl SemanticModel {
             .iter()
             .find(|i| i.kind() == path.index)
             .expect("chosen index exists");
-        idx.scan(pattern)
+        let metrics = if telemetry::enabled() {
+            let m = crate::metrics::index_metrics(path.index);
+            m.scans.inc();
+            let (lo, hi) = idx.pattern_span(&pattern);
+            m.rows_scanned.add((hi - lo) as u64);
+            Some(m)
+        } else {
+            None
+        };
+        let track_delta = metrics.is_some();
+        let inner = idx
+            .scan(pattern)
             .filter(move |q| !self.delta_removed.contains(q))
             .chain(
                 self.delta_added
                     .iter()
                     .copied()
-                    .filter(move |q| pattern.matches(q)),
-            )
+                    .filter(move |q| pattern.matches(q))
+                    .inspect(move |_| {
+                        if track_delta {
+                            crate::metrics::delta_hits().inc();
+                        }
+                    }),
+            );
+        ScanTally { inner, matched: 0, metrics }
     }
 
     /// Exact number of matches for `pattern`. When the chosen index's
@@ -307,6 +367,9 @@ impl SemanticModel {
                     .iter()
                     .find(|i| i.kind() == path.index)
                     .expect("chosen index exists");
+                if telemetry::enabled() {
+                    crate::metrics::index_metrics(path.index).scans.inc();
+                }
                 return idx.pattern_count(pattern);
             }
         }

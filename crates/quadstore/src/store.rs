@@ -212,6 +212,9 @@ impl Store {
     /// and unchanged — for as long as the handle lives, regardless of
     /// concurrent writers.
     pub fn snapshot(&self) -> Snapshot {
+        if telemetry::enabled() {
+            crate::metrics::snapshot_pins().inc();
+        }
         Snapshot { gen: self.published() }
     }
 
@@ -709,6 +712,9 @@ impl WriteBatch<'_> {
             virtual_models,
         });
         *store.published.write().expect("publish lock poisoned") = gen;
+        if telemetry::enabled() {
+            crate::metrics::publishes().inc();
+        }
     }
 }
 

@@ -59,6 +59,7 @@ pub struct PlanCache {
     misses: AtomicU64,
     invalidations: AtomicU64,
     compiles: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -77,6 +78,7 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -110,20 +112,32 @@ impl PlanCache {
                 Some(entry) if entry.epoch == epoch => {
                     entry.last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if telemetry::enabled() {
+                        crate::metrics::plan_cache_hits().inc();
+                    }
                     return Ok(Arc::clone(&entry.plan));
                 }
                 Some(_) => {
                     inner.map.remove(&key);
                     self.invalidations.fetch_add(1, Ordering::Relaxed);
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    if telemetry::enabled() {
+                        crate::metrics::plan_cache_invalidations().inc();
+                        crate::metrics::plan_cache_misses().inc();
+                    }
                 }
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    if telemetry::enabled() {
+                        crate::metrics::plan_cache_misses().inc();
+                    }
                 }
             }
         }
         self.compiles.fetch_add(1, Ordering::Relaxed);
+        let span = telemetry::enabled().then(|| crate::metrics::compile_nanos().span());
         let plan = Arc::new(compile()?);
+        drop(span);
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -135,6 +149,10 @@ impl PlanCache {
                 .map(|(k, _)| k.clone())
             {
                 inner.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if telemetry::enabled() {
+                    crate::metrics::plan_cache_evictions().inc();
+                }
             }
         }
         inner
@@ -177,6 +195,12 @@ impl PlanCache {
     /// work on a hit" assertion hangs off this counter.
     pub fn compiles(&self) -> u64 {
         self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Current-epoch plans dropped by LRU capacity pressure (stale-epoch
+    /// drops count as invalidations instead).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -254,6 +278,8 @@ mod tests {
         assert_eq!(cache.hits(), 2, "q1 must have survived eviction");
         cache.get_or_compile("m", "q2", opts(), 1, || Ok(dummy_plan())).unwrap();
         assert_eq!(cache.compiles(), 4, "q2 must have been evicted and recompiled");
+        assert_eq!(cache.evictions(), 2, "q2 then q3 fell to capacity pressure");
+        assert_eq!(cache.invalidations(), 0, "no epoch moved in this test");
     }
 
     #[test]

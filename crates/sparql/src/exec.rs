@@ -130,6 +130,62 @@ struct SharedState {
     rows: Mutex<HashMap<usize, Arc<OnceLock<Vec<Row>>>>>,
 }
 
+/// Per-step actuals recorded during a profiled execution: output rows,
+/// input rows (loops), and inclusive time spent pulling this operator
+/// (Postgres-style: includes the operators beneath it in the pipeline).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StepTally {
+    /// Rows this step emitted.
+    pub rows: u64,
+    /// Input rows the step was probed with (1 for the driving step).
+    pub loops: u64,
+    /// Inclusive nanoseconds spent inside this step's `next()` calls.
+    pub nanos: u64,
+}
+
+/// Accumulates [`StepTally`]s during execution, keyed by the address of
+/// the plan's [`Step`]/`PathStep` — the same address-keying scheme the
+/// shared hash-build cells use, valid because the profile is read back
+/// while the same [`CompiledQuery`] allocation is alive.
+#[derive(Debug, Default)]
+pub struct ProfileState {
+    tallies: Mutex<HashMap<usize, StepTally>>,
+}
+
+impl ProfileState {
+    fn add(&self, key: usize, rows: u64, loops: u64, nanos: u64) {
+        let mut tallies = self.tallies.lock().expect("profile state poisoned");
+        let t = tallies.entry(key).or_default();
+        t.rows += rows;
+        t.loops += loops;
+        t.nanos += nanos;
+    }
+}
+
+/// The result of a profiled execution: per-step actuals plus total wall
+/// time. Look up a step's tally by the same plan node reference that was
+/// executed (`EXPLAIN ANALYZE` rendering does exactly that).
+#[derive(Debug, Clone)]
+pub struct ExecProfile {
+    tallies: HashMap<usize, StepTally>,
+    /// Wall-clock nanoseconds for the whole execution.
+    pub wall_nanos: u64,
+}
+
+impl ExecProfile {
+    /// Actuals of a BGP step, if it was reached during execution.
+    pub fn step(&self, step: &Step) -> Option<StepTally> {
+        self.tallies.get(&(step as *const Step as usize)).copied()
+    }
+
+    /// Actuals of a closure-path step, if it was reached.
+    pub fn path(&self, pstep: &crate::plan::PathStep) -> Option<StepTally> {
+        self.tallies
+            .get(&(pstep as *const crate::plan::PathStep as usize))
+            .copied()
+    }
+}
+
 /// Evaluation context: the dataset plus the computed-terms side table.
 /// All interior mutability is thread-safe so morsel workers can share one
 /// context by reference.
@@ -149,6 +205,7 @@ pub struct EvalCtx {
     exhausted_flag: AtomicBool,
     exhausted: Mutex<Option<String>>,
     shared: SharedState,
+    profile: Option<Arc<ProfileState>>,
 }
 
 #[derive(Default)]
@@ -179,7 +236,17 @@ impl EvalCtx {
             exhausted_flag: AtomicBool::new(false),
             exhausted: Mutex::new(None),
             shared: SharedState::default(),
+            profile: None,
         }
+    }
+
+    /// Attaches a profile collector: every BGP/path step records its
+    /// input rows, output rows, and inclusive time. Use with
+    /// `threads == 1`; per-step attribution is only exact on the
+    /// sequential pipeline ([`execute_profiled`] enforces this).
+    pub fn with_profile(mut self, profile: Arc<ProfileState>) -> Self {
+        self.profile = Some(profile);
+        self
     }
 
     /// Applies resource limits to this execution.
@@ -418,9 +485,40 @@ pub fn execute_compiled_with_options(
         compiled.exists.clone(),
     )
     .with_options(options);
+    execute_with_ctx(&ctx, compiled)
+}
+
+/// Executes a compiled query with per-step profiling: returns the
+/// results plus an [`ExecProfile`] holding each BGP/path step's actual
+/// rows, loops, and inclusive time. Profiling forces `threads == 1`
+/// (the sequential reference pipeline) so that per-step attribution is
+/// exact; results are identical to any thread count by the executor's
+/// equivalence guarantee.
+pub fn execute_profiled(
+    view: &DatasetView,
+    compiled: &CompiledQuery,
+    options: ExecOptions,
+) -> Result<(QueryResults, ExecProfile), SparqlError> {
+    let start = Instant::now();
+    let profile = Arc::new(ProfileState::default());
+    let options = ExecOptions { threads: 1, ..options };
+    let ctx = EvalCtx::with_exists(
+        view.clone(),
+        compiled.vars.clone(),
+        compiled.exists.clone(),
+    )
+    .with_options(options)
+    .with_profile(Arc::clone(&profile));
+    let results = execute_with_ctx(&ctx, compiled)?;
+    drop(ctx); // flush any iterator tallies still alive in the context
+    let tallies = profile.tallies.lock().expect("profile state poisoned").clone();
+    Ok((results, ExecProfile { tallies, wall_nanos: start.elapsed().as_nanos() as u64 }))
+}
+
+fn execute_with_ctx(ctx: &EvalCtx, compiled: &CompiledQuery) -> Result<QueryResults, SparqlError> {
     match &compiled.form {
         CForm::Select(sel) => {
-            let rows = exec_select(&ctx, sel)?;
+            let rows = exec_select(ctx, sel)?;
             let slots = sel.projected_slots();
             let vars: Vec<String> = slots
                 .iter()
@@ -439,7 +537,7 @@ pub fn execute_compiled_with_options(
         }
         CForm::Ask(node) => {
             let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
-            let mut out = eval_node(&ctx, node, input);
+            let mut out = eval_node(ctx, node, input);
             let answer = out.next().is_some();
             if let Some(reason) = ctx.exhaustion() {
                 return Err(SparqlError::ResourceExhausted(reason));
@@ -447,7 +545,7 @@ pub fn execute_compiled_with_options(
             Ok(QueryResults::Boolean(answer))
         }
         CForm::Construct(templates, sel) => {
-            let rows = exec_select(&ctx, sel)?;
+            let rows = exec_select(ctx, sel)?;
             let slots = sel.projected_slots();
             let vars: Vec<String> = slots
                 .iter()
@@ -780,28 +878,33 @@ pub fn eval_node<'it>(ctx: &'it EvalCtx, node: &'it Node, input: BoxIter<'it>) -
             }
             stream
         }
-        Node::Path(pstep) => Box::new(input.flat_map(move |row| {
-            let s_val = pos_value(&row, &pstep.s);
-            let o_val = pos_value(&row, &pstep.o);
-            // Computed IDs never match stored quads.
-            let bad = |v: &Option<Option<u64>>| matches!(v, Some(None));
-            if bad(&s_val) || bad(&o_val) {
-                return Vec::new().into_iter();
-            }
-            let pairs =
-                path::eval_path_pairs(&ctx.view, &pstep.path, pstep.graph, s_val.flatten(), o_val.flatten());
-            let mut out = Vec::new();
-            for (s, o) in pairs {
-                let mut new_row = row.clone();
-                if extend_pos(&mut new_row, &pstep.s, s) && extend_pos(&mut new_row, &pstep.o, o) {
-                    if !ctx.charge(1) {
-                        break;
-                    }
-                    out.push(new_row);
+        Node::Path(pstep) => {
+            let key = pstep as *const crate::plan::PathStep as usize;
+            let input = profile_input(ctx, key, input);
+            let out: BoxIter = Box::new(input.flat_map(move |row| {
+                let s_val = pos_value(&row, &pstep.s);
+                let o_val = pos_value(&row, &pstep.o);
+                // Computed IDs never match stored quads.
+                let bad = |v: &Option<Option<u64>>| matches!(v, Some(None));
+                if bad(&s_val) || bad(&o_val) {
+                    return Vec::new().into_iter();
                 }
-            }
-            out.into_iter()
-        })),
+                let pairs =
+                    path::eval_path_pairs(&ctx.view, &pstep.path, pstep.graph, s_val.flatten(), o_val.flatten());
+                let mut out = Vec::new();
+                for (s, o) in pairs {
+                    let mut new_row = row.clone();
+                    if extend_pos(&mut new_row, &pstep.s, s) && extend_pos(&mut new_row, &pstep.o, o) {
+                        if !ctx.charge(1) {
+                            break;
+                        }
+                        out.push(new_row);
+                    }
+                }
+                out.into_iter()
+            }));
+            profile_output(ctx, key, out)
+        }
         Node::Join(children) => {
             let mut stream = input;
             for child in children {
@@ -939,7 +1042,96 @@ pub fn eval_node<'it>(ctx: &'it EvalCtx, node: &'it Node, input: BoxIter<'it>) -
     }
 }
 
+/// Counts rows flowing *into* a profiled step (its loop count) and
+/// flushes once on drop.
+struct ProfileLoops<'it> {
+    inner: BoxIter<'it>,
+    profile: Arc<ProfileState>,
+    key: usize,
+    loops: u64,
+}
+
+impl Iterator for ProfileLoops<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.loops += 1;
+        }
+        item
+    }
+}
+
+impl Drop for ProfileLoops<'_> {
+    fn drop(&mut self) {
+        self.profile.add(self.key, 0, self.loops, 0);
+    }
+}
+
+/// Counts and times rows flowing *out of* a profiled step. Each `next()`
+/// is clocked, so the recorded time is inclusive of the steps beneath
+/// this one in the pull pipeline; flushes once on drop.
+struct ProfileRows<'it> {
+    inner: BoxIter<'it>,
+    profile: Arc<ProfileState>,
+    key: usize,
+    rows: u64,
+    nanos: u64,
+}
+
+impl Iterator for ProfileRows<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        let start = Instant::now();
+        let item = self.inner.next();
+        self.nanos += start.elapsed().as_nanos() as u64;
+        if item.is_some() {
+            self.rows += 1;
+        }
+        item
+    }
+}
+
+impl Drop for ProfileRows<'_> {
+    fn drop(&mut self) {
+        self.profile.add(self.key, self.rows, 0, self.nanos);
+    }
+}
+
+/// Wraps a profiled step's input with a loop counter (no-op without an
+/// attached profile).
+fn profile_input<'it>(ctx: &'it EvalCtx, key: usize, input: BoxIter<'it>) -> BoxIter<'it> {
+    match &ctx.profile {
+        Some(p) => Box::new(ProfileLoops { inner: input, profile: Arc::clone(p), key, loops: 0 }),
+        None => input,
+    }
+}
+
+/// Wraps a profiled step's output with a row counter + timer (no-op
+/// without an attached profile).
+fn profile_output<'it>(ctx: &'it EvalCtx, key: usize, out: BoxIter<'it>) -> BoxIter<'it> {
+    match &ctx.profile {
+        Some(p) => Box::new(ProfileRows {
+            inner: out,
+            profile: Arc::clone(p),
+            key,
+            rows: 0,
+            nanos: 0,
+        }),
+        None => out,
+    }
+}
+
 fn eval_step<'it>(ctx: &'it EvalCtx, step: &'it Step, input: BoxIter<'it>) -> BoxIter<'it> {
+    let key = step as *const Step as usize;
+    let input = profile_input(ctx, key, input);
+    let out = eval_step_inner(ctx, step, input);
+    profile_output(ctx, key, out)
+}
+
+fn eval_step_inner<'it>(ctx: &'it EvalCtx, step: &'it Step, input: BoxIter<'it>) -> BoxIter<'it> {
     match &step.strategy {
         Strategy::IndexNlj => Box::new(input.flat_map(move |row| {
             let mut out = Vec::new();
@@ -965,12 +1157,17 @@ fn eval_step<'it>(ctx: &'it EvalCtx, step: &'it Step, input: BoxIter<'it>) -> Bo
 /// constants only, keyed by the join positions.
 fn build_table(ctx: &EvalCtx, step: &Step, join_slots: &[usize]) -> BuildTable {
     let mut table = BuildTable::default();
+    let mut rows = 0u64;
     if !step.triple.unsatisfiable() {
         let positions = key_positions(&step.triple, join_slots);
         for quad in ctx.view.scan(step.triple.const_pattern()) {
             let key: Vec<u64> = positions.iter().map(|&p| quad[p]).collect();
             table.entry(key).or_default().push(quad);
+            rows += 1;
         }
+    }
+    if telemetry::enabled() {
+        crate::metrics::hash_build_rows().record(rows);
     }
     table
 }
@@ -1468,14 +1665,20 @@ fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>) -> Vec<Row> {
         }
     };
     let morsels = ctx.view.plan_morsels(&pattern, ctx.morsel_size);
+    let track = telemetry::enabled();
     let workers = ctx.threads.min(morsels.len()).max(1);
     if workers <= 1 {
         let mut out = Vec::new();
+        let mut claimed = 0u64;
         for morsel in &morsels {
             if ctx.is_exhausted() {
                 break;
             }
+            claimed += 1;
             out.extend(run_one(morsel));
+        }
+        if track {
+            crate::metrics::morsels_claimed().add(claimed);
         }
         return out;
     }
@@ -1485,14 +1688,21 @@ fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>) -> Vec<Row> {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let busy = track.then(|| crate::metrics::worker_busy_nanos().span());
                     let mut local: Vec<(usize, Vec<Row>)> = Vec::new();
+                    let mut claimed = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= morsels.len() || ctx.is_exhausted() {
                             break;
                         }
+                        claimed += 1;
                         local.push((i, run_one(&morsels[i])));
                     }
+                    if track {
+                        crate::metrics::morsels_claimed().add(claimed);
+                    }
+                    drop(busy);
                     local
                 })
             })
@@ -2260,16 +2470,22 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
             }
         }
     };
+    let track = telemetry::enabled();
     let workers = ctx.threads.min(tasks.len()).max(1);
     let mut partials: Vec<GroupedPartial> = Vec::new();
     if workers <= 1 {
         let mut sink = RunSink::default();
         let mut st = WalkState::default();
+        let mut claimed = 0u64;
         for t in 0..tasks.len() {
             if ctx.is_exhausted() {
                 break;
             }
+            claimed += 1;
             run_task(t, &mut sink, &mut st);
+        }
+        if track {
+            crate::metrics::morsels_claimed().add(claimed);
         }
         partials.push(sink.finish());
     } else {
@@ -2278,15 +2494,22 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let busy = track.then(|| crate::metrics::worker_busy_nanos().span());
                         let mut sink = RunSink::default();
                         let mut st = WalkState::default();
+                        let mut claimed = 0u64;
                         loop {
                             let t = next.fetch_add(1, Ordering::Relaxed);
                             if t >= tasks.len() || ctx.is_exhausted() {
                                 break;
                             }
+                            claimed += 1;
                             run_task(t, &mut sink, &mut st);
                         }
+                        if track {
+                            crate::metrics::morsels_claimed().add(claimed);
+                        }
+                        drop(busy);
                         sink.finish()
                     })
                 })

@@ -1,4 +1,4 @@
-//! Plan rendering — the Table 5 analogue.
+//! Plan rendering — the Table 5 analogue — plus `EXPLAIN ANALYZE`.
 //!
 //! For each planned triple pattern the output shows the bound components
 //! (constants in brackets), the chosen index, and whether the access is an
@@ -8,29 +8,147 @@
 //! ```text
 //! 1: ?x <http://pg/r/follows> ?y  [P=<http://pg/r/follows>] PCSGM range scan (NLJ)
 //! ```
+//!
+//! [`render_analyze`] re-renders the same plan annotated with the actual
+//! rows, loops (input rows), and inclusive time each step recorded during
+//! a profiled execution ([`crate::exec::execute_profiled`]):
+//!
+//! ```text
+//! 1: ?x <...follows> ?y  [P=<...>] PCSGM range scan (NLJ) ~81 rows (actual: rows=81 loops=1 time=0.113ms)
+//! ```
 
 use std::fmt::Write as _;
 
+use crate::exec::ExecProfile;
 use crate::plan::{CForm, CGraph, CPos, CSelect, CompiledQuery, Node, Step, Strategy, VarTable};
+use crate::profile::StepProfile;
 
 /// Renders a compiled query plan as indented text.
 pub fn render(compiled: &CompiledQuery) -> String {
+    render_with(compiled, None)
+}
+
+/// Renders a compiled query plan annotated with the actuals from a
+/// profiled execution — the `EXPLAIN ANALYZE` output. Steps the executor
+/// never reached (e.g. behind an empty input) are marked
+/// `never executed`.
+pub fn render_analyze(compiled: &CompiledQuery, profile: &ExecProfile) -> String {
+    render_with(compiled, Some(profile))
+}
+
+fn render_with(compiled: &CompiledQuery, profile: Option<&ExecProfile>) -> String {
     let mut out = String::new();
     match &compiled.form {
-        CForm::Select(sel) => render_select(&mut out, &compiled.vars, sel, 0),
+        CForm::Select(sel) => render_select(&mut out, &compiled.vars, sel, 0, profile),
         CForm::Ask(node) => {
             let _ = writeln!(out, "ASK");
-            render_node(&mut out, &compiled.vars, node, 1, &mut 1);
+            render_node(&mut out, &compiled.vars, node, 1, &mut 1, profile);
         }
         CForm::Construct(templates, sel) => {
             let _ = writeln!(out, "CONSTRUCT ({} template quads)", templates.len());
-            render_select(&mut out, &compiled.vars, sel, 1);
+            render_select(&mut out, &compiled.vars, sel, 1, profile);
         }
+    }
+    if let Some(p) = profile {
+        let _ = writeln!(out, "Execution time: {}", format_nanos(p.wall_nanos));
     }
     out
 }
 
-fn render_select(out: &mut String, vars: &VarTable, sel: &CSelect, depth: usize) {
+/// Collects one [`StepProfile`] per numbered plan step, in EXPLAIN
+/// numbering order — the structured counterpart of [`render_analyze`].
+pub fn step_profiles(compiled: &CompiledQuery, profile: &ExecProfile) -> Vec<StepProfile> {
+    let mut steps = Vec::new();
+    match &compiled.form {
+        CForm::Select(sel) | CForm::Construct(_, sel) => {
+            collect_select(&compiled.vars, sel, profile, &mut steps)
+        }
+        CForm::Ask(node) => {
+            collect_node(&compiled.vars, node, &mut 1, profile, &mut steps)
+        }
+    }
+    steps
+}
+
+fn collect_select(
+    vars: &VarTable,
+    sel: &CSelect,
+    profile: &ExecProfile,
+    out: &mut Vec<StepProfile>,
+) {
+    // Mirrors render_select: each SELECT scope restarts step numbering.
+    let mut local = 1usize;
+    collect_node(vars, &sel.root, &mut local, profile, out);
+}
+
+fn collect_node(
+    vars: &VarTable,
+    node: &Node,
+    counter: &mut usize,
+    profile: &ExecProfile,
+    out: &mut Vec<StepProfile>,
+) {
+    match node {
+        Node::Steps(steps) => {
+            for step in steps {
+                let tally = profile.step(step);
+                out.push(StepProfile {
+                    ordinal: *counter,
+                    pattern: step_pattern(vars, step),
+                    index: step_access(step),
+                    strategy: step_strategy(vars, step),
+                    est_rows: step.est_scan as u64,
+                    executed: tally.is_some(),
+                    actual_rows: tally.map(|t| t.rows).unwrap_or(0),
+                    loops: tally.map(|t| t.loops).unwrap_or(0),
+                    nanos: tally.map(|t| t.nanos).unwrap_or(0),
+                });
+                *counter += 1;
+            }
+        }
+        Node::Path(p) => {
+            let tally = profile.path(p);
+            out.push(StepProfile {
+                ordinal: *counter,
+                pattern: format!(
+                    "PATH {} -[closure]-> {}",
+                    render_pos(vars, &p.s),
+                    render_pos(vars, &p.o)
+                ),
+                index: "closure".to_string(),
+                strategy: "PATH".to_string(),
+                est_rows: 0,
+                executed: tally.is_some(),
+                actual_rows: tally.map(|t| t.rows).unwrap_or(0),
+                loops: tally.map(|t| t.loops).unwrap_or(0),
+                nanos: tally.map(|t| t.nanos).unwrap_or(0),
+            });
+            *counter += 1;
+        }
+        Node::Join(children) => {
+            for child in children {
+                collect_node(vars, child, counter, profile, out);
+            }
+        }
+        Node::Filter(_, inner) | Node::Minus(inner) => {
+            collect_node(vars, inner, counter, profile, out)
+        }
+        Node::Union(a, b) | Node::Optional(a, b) => {
+            collect_node(vars, a, counter, profile, out);
+            collect_node(vars, b, counter, profile, out);
+        }
+        Node::SubSelect(sel) => collect_select(vars, sel, profile, out),
+        Node::Values { .. } | Node::Extend(..) => {}
+    }
+}
+
+fn render_select(
+    out: &mut String,
+    vars: &VarTable,
+    sel: &CSelect,
+    depth: usize,
+    profile: Option<&ExecProfile>,
+) {
     let pad = "  ".repeat(depth);
     let cols: Vec<String> = sel
         .projection
@@ -52,7 +170,7 @@ fn render_select(out: &mut String, vars: &VarTable, sel: &CSelect, depth: usize)
         let _ = writeln!(out, "{pad}GROUP BY {}", g.join(" "));
     }
     let mut counter = 1usize;
-    render_node(out, vars, &sel.root, depth + 1, &mut counter);
+    render_node(out, vars, &sel.root, depth + 1, &mut counter, profile);
     if !sel.order_by.is_empty() {
         let _ = writeln!(out, "{pad}ORDER BY ({} keys)", sel.order_by.len());
     }
@@ -61,48 +179,60 @@ fn render_select(out: &mut String, vars: &VarTable, sel: &CSelect, depth: usize)
     }
 }
 
-fn render_node(out: &mut String, vars: &VarTable, node: &Node, depth: usize, counter: &mut usize) {
+fn render_node(
+    out: &mut String,
+    vars: &VarTable,
+    node: &Node,
+    depth: usize,
+    counter: &mut usize,
+    profile: Option<&ExecProfile>,
+) {
     let pad = "  ".repeat(depth);
     match node {
         Node::Steps(steps) => {
             for step in steps {
-                let _ = writeln!(out, "{pad}{}: {}", counter, render_step(vars, step));
+                let actual = profile
+                    .map(|p| format_actual(p.step(step)))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "{pad}{}: {}{}", counter, render_step(vars, step), actual);
                 *counter += 1;
             }
         }
         Node::Path(p) => {
+            let actual = profile.map(|pr| format_actual(pr.path(p))).unwrap_or_default();
             let _ = writeln!(
                 out,
-                "{pad}{}: PATH {} -[closure]-> {}",
+                "{pad}{}: PATH {} -[closure]-> {}{}",
                 counter,
                 render_pos(vars, &p.s),
-                render_pos(vars, &p.o)
+                render_pos(vars, &p.o),
+                actual
             );
             *counter += 1;
         }
         Node::Join(children) => {
             for child in children {
-                render_node(out, vars, child, depth, counter);
+                render_node(out, vars, child, depth, counter, profile);
             }
         }
         Node::Filter(filters, inner) => {
-            render_node(out, vars, inner, depth, counter);
+            render_node(out, vars, inner, depth, counter, profile);
             let _ = writeln!(out, "{pad}FILTER ({} predicates)", filters.len());
         }
         Node::Union(a, b) => {
             let _ = writeln!(out, "{pad}UNION");
-            render_node(out, vars, a, depth + 1, counter);
+            render_node(out, vars, a, depth + 1, counter, profile);
             let _ = writeln!(out, "{pad}  --");
-            render_node(out, vars, b, depth + 1, counter);
+            render_node(out, vars, b, depth + 1, counter, profile);
         }
         Node::Optional(a, b) => {
-            render_node(out, vars, a, depth, counter);
+            render_node(out, vars, a, depth, counter, profile);
             let _ = writeln!(out, "{pad}OPTIONAL");
-            render_node(out, vars, b, depth + 1, counter);
+            render_node(out, vars, b, depth + 1, counter, profile);
         }
         Node::SubSelect(sel) => {
             let _ = writeln!(out, "{pad}SUBQUERY");
-            render_select(out, vars, sel, depth + 1);
+            render_select(out, vars, sel, depth + 1, profile);
         }
         Node::Values { slots, rows } => {
             let names: Vec<String> = slots.iter().map(|&s| format!("?{}", vars.name(s))).collect();
@@ -113,7 +243,77 @@ fn render_node(out: &mut String, vars: &VarTable, node: &Node, depth: usize, cou
         }
         Node::Minus(inner) => {
             let _ = writeln!(out, "{pad}MINUS");
-            render_node(out, vars, inner, depth + 1, counter);
+            render_node(out, vars, inner, depth + 1, counter, profile);
+        }
+    }
+}
+
+fn format_actual(tally: Option<crate::exec::StepTally>) -> String {
+    match tally {
+        Some(t) => format!(
+            " (actual: rows={} loops={} time={})",
+            t.rows,
+            t.loops,
+            format_nanos(t.nanos)
+        ),
+        None => " (actual: never executed)".to_string(),
+    }
+}
+
+/// Human formatting for nanosecond figures: `ns`, `µs`, or `ms`.
+pub(crate) fn format_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    }
+}
+
+/// The triple-pattern part of a step line (without access/strategy).
+fn step_pattern(vars: &VarTable, step: &Step) -> String {
+    format!(
+        "{} {} {}{}",
+        render_pos(vars, &step.triple.s),
+        render_pos(vars, &step.triple.p),
+        render_pos(vars, &step.triple.o),
+        match &step.triple.g {
+            CGraph::Any | CGraph::Default => String::new(),
+            CGraph::Var(s) => format!(" GRAPH ?{}", vars.name(*s)),
+            CGraph::Const(t, _) => format!(" GRAPH {t}"),
+        }
+    )
+}
+
+/// The access-path part of a step line (index + scan kind).
+fn step_access(step: &Step) -> String {
+    if step.triple.unsatisfiable() {
+        "empty scan (constant absent from store)".to_string()
+    } else {
+        step.access
+            .as_ref()
+            .map(|a| {
+                if a.is_full_scan() {
+                    format!("{} full scan", a.index)
+                } else {
+                    format!("{} range scan", a.index)
+                }
+            })
+            .unwrap_or_else(|| "no access path".to_string())
+    }
+}
+
+/// The join-strategy part of a step line.
+fn step_strategy(vars: &VarTable, step: &Step) -> String {
+    match &step.strategy {
+        Strategy::IndexNlj => "NLJ".to_string(),
+        Strategy::HashJoin { join_slots } => {
+            let keys: Vec<String> = join_slots
+                .iter()
+                .map(|&s| format!("?{}", vars.name(s)))
+                .collect();
+            format!("HASH JOIN on {}", keys.join(","))
         }
     }
 }
@@ -132,43 +332,12 @@ fn render_step(vars: &VarTable, step: &Step) -> String {
     if let CGraph::Const(t, _) = &step.triple.g {
         bound.push(format!("G={t}"));
     }
-    let access = if step.triple.unsatisfiable() {
-        "empty scan (constant absent from store)".to_string()
-    } else {
-        step.access
-            .as_ref()
-            .map(|a| {
-                if a.is_full_scan() {
-                    format!("{} full scan", a.index)
-                } else {
-                    format!("{} range scan", a.index)
-                }
-            })
-            .unwrap_or_else(|| "no access path".to_string())
-    };
-    let strategy = match &step.strategy {
-        Strategy::IndexNlj => "NLJ".to_string(),
-        Strategy::HashJoin { join_slots } => {
-            let keys: Vec<String> = join_slots
-                .iter()
-                .map(|&s| format!("?{}", vars.name(s)))
-                .collect();
-            format!("HASH JOIN on {}", keys.join(","))
-        }
-    };
     format!(
-        "{} {} {}{}  [{}] {} ({}) ~{} rows",
-        render_pos(vars, &step.triple.s),
-        render_pos(vars, &step.triple.p),
-        render_pos(vars, &step.triple.o),
-        match &step.triple.g {
-            CGraph::Any | CGraph::Default => String::new(),
-            CGraph::Var(s) => format!(" GRAPH ?{}", vars.name(*s)),
-            CGraph::Const(t, _) => format!(" GRAPH {t}"),
-        },
+        "{}  [{}] {} ({}) ~{} rows",
+        step_pattern(vars, step),
         bound.join(" and "),
-        access,
-        strategy,
+        step_access(step),
+        step_strategy(vars, step),
         step.est_scan
     )
 }

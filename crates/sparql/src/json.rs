@@ -83,7 +83,7 @@ fn term_to_json(term: &Term) -> String {
 }
 
 /// JSON string escaping per RFC 8259.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -35,9 +35,11 @@ pub mod explain;
 pub mod expr;
 pub mod json;
 pub mod lexer;
+pub(crate) mod metrics;
 pub mod parser;
 pub mod path;
 pub mod plan;
+pub mod profile;
 pub mod results;
 pub mod update;
 
@@ -45,11 +47,13 @@ pub use ast::{Query, Update};
 pub use cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use error::SparqlError;
 pub use exec::{
-    execute_compiled, execute_compiled_with_limits, execute_compiled_with_options, ExecLimits,
-    ExecOptions, QueryResults, DEFAULT_MORSEL_SIZE,
+    execute_compiled, execute_compiled_with_limits, execute_compiled_with_options,
+    execute_profiled, ExecLimits, ExecOptions, ExecProfile, QueryResults, StepTally,
+    DEFAULT_MORSEL_SIZE,
 };
 pub use parser::{parse_query, parse_update};
 pub use plan::{compile, compile_with, CompileOptions, CompiledQuery, ForcedJoin};
+pub use profile::{QueryProfile, StepProfile};
 pub use results::Solutions;
 pub use update::{execute_update, UpdateStats};
 

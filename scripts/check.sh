@@ -19,6 +19,12 @@ cargo test --release -q --test parallel_equivalence
 cargo test --release -q --test concurrent_snapshots
 
 # Bench harness smoke run: every section (including the PR2
-# parallel/plan-cache artifact and the PR3 snapshot-isolated read
-# scaling artifact) must complete on a small fixture.
+# parallel/plan-cache artifact, the PR3 snapshot-isolated read scaling
+# artifact, and the PR4 operator-profile artifact) must complete on a
+# small fixture.
 cargo run --release -q --bin repro -- --scale 0.01
+
+# Telemetry overhead guard: the EQ1-EQ5 batch with engine counters
+# enabled must cost at most 5% more wall time than with them disabled
+# (best-of-5 alternating rounds; exits non-zero past the budget).
+cargo run --release -q --bin repro -- --scale 0.01 overhead
