@@ -24,11 +24,21 @@
 //! the whole run and dumps the global registry in Prometheus text
 //! exposition format after the work completes; both flags compose with
 //! any load/query/replay mode.
+//!
+//! Resource-governor flags:
+//! `--timeout SECS` gives every query a deadline, `--memory-limit BYTES`
+//! (suffixes k/m/g) caps each query's intermediate-state estimate, and
+//! `--max-concurrent N` installs an admission governor so at most N
+//! queries run at once (replay reports admitted/queued/shed counts and
+//! queue-wait percentiles). Ctrl-C cancels the running query
+//! cooperatively via a [`sparql::CancelToken`]; a second Ctrl-C exits.
 
 use std::io::Read as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
-use pgrdf::{LoadOptions, PartitionLayout, PgRdfModel, PgRdfStore, PgVocab};
+use pgrdf::{GovernorConfig, LoadOptions, PartitionLayout, PgRdfModel, PgRdfStore, PgVocab};
 use propertygraph::PropertyGraph;
 
 struct Args {
@@ -46,6 +56,9 @@ struct Args {
     workers: usize,
     replay: Option<String>,
     repeat: usize,
+    timeout: Option<f64>,
+    memory_limit: Option<u64>,
+    max_concurrent: usize,
     query: Option<String>,
 }
 
@@ -54,9 +67,67 @@ fn usage() -> ! {
         "usage: pgq [--graph FILE.tsv | --snap DIR | --demo | --generate SCALE --out FILE]\n\
          \x20          [--model ng|sp|rf] [--partitioned] [--json] [--explain]\n\
          \x20          [--profile] [--metrics]\n\
+         \x20          [--timeout SECS] [--memory-limit BYTES[k|m|g]] [--max-concurrent N]\n\
          \x20          [--workers N] [--replay FILE.rq] [--repeat N] [QUERY|-]"
     );
     std::process::exit(2);
+}
+
+/// The token Ctrl-C cancels; shared with every query this process runs.
+static CANCEL: OnceLock<sparql::CancelToken> = OnceLock::new();
+static SIGINTS: AtomicU64 = AtomicU64::new(0);
+
+extern "C" fn on_sigint(_sig: i32) {
+    // First Ctrl-C: flip the token (one relaxed atomic store — signal
+    // safe); running queries abort cooperatively with `Cancelled`.
+    // Second Ctrl-C: give up waiting and exit like a default handler.
+    if SIGINTS.fetch_add(1, Ordering::SeqCst) >= 1 {
+        std::process::exit(130);
+    }
+    if let Some(token) = CANCEL.get() {
+        token.cancel();
+    }
+}
+
+fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+/// Parses a byte count with an optional binary k/m/g suffix.
+fn parse_bytes(s: &str) -> Option<u64> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = t.strip_suffix('g') {
+        (d, 1u64 << 30)
+    } else if let Some(d) = t.strip_suffix('m') {
+        (d, 1u64 << 20)
+    } else if let Some(d) = t.strip_suffix('k') {
+        (d, 1u64 << 10)
+    } else {
+        (t.as_str(), 1u64)
+    };
+    digits.trim().parse::<u64>().ok().map(|n| n.saturating_mul(mult))
+}
+
+/// Execution options for one query run: fresh deadline (timeouts are
+/// per-query, not per-process), the memory budget, and the process-wide
+/// cancel token.
+fn exec_options(args: &Args) -> sparql::ExecOptions {
+    let mut limits = sparql::ExecLimits::default();
+    if let Some(secs) = args.timeout {
+        limits.deadline = Some(Instant::now() + Duration::from_secs_f64(secs));
+    }
+    limits.max_memory = args.memory_limit;
+    let options = sparql::ExecOptions { limits, ..Default::default() };
+    match CANCEL.get() {
+        Some(token) => options.with_cancel(token.clone()),
+        None => options,
+    }
 }
 
 fn parse_args() -> Args {
@@ -75,6 +146,9 @@ fn parse_args() -> Args {
         workers: 1,
         replay: None,
         repeat: 1,
+        timeout: None,
+        memory_limit: None,
+        max_concurrent: 0,
         query: None,
     };
     let mut argv = std::env::args().skip(1);
@@ -105,6 +179,20 @@ fn parse_args() -> Args {
             "--repeat" => {
                 args.repeat = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
+            "--timeout" => {
+                args.timeout = Some(
+                    argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+                )
+            }
+            "--memory-limit" => {
+                args.memory_limit = Some(
+                    argv.next().as_deref().and_then(parse_bytes).unwrap_or_else(|| usage()),
+                )
+            }
+            "--max-concurrent" => {
+                args.max_concurrent =
+                    argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             q => args.query = Some(q.to_string()),
         }
@@ -120,6 +208,9 @@ fn main() {
     if args.metrics || args.profile {
         telemetry::set_enabled(true);
     }
+
+    let _ = CANCEL.set(sparql::CancelToken::new());
+    install_sigint_handler();
 
     if let Some(scale) = args.generate {
         let graph = twittergen::generate(&twittergen::TwitterGenConfig::at_scale(scale));
@@ -174,6 +265,15 @@ fn main() {
         store.stats().quads
     );
 
+    if args.max_concurrent > 0 {
+        store.set_governor(GovernorConfig {
+            max_concurrent: args.max_concurrent,
+            ..GovernorConfig::default()
+        });
+        eprintln!("admission governor: at most {} concurrent quer{}", args.max_concurrent,
+            if args.max_concurrent == 1 { "y" } else { "ies" });
+    }
+
     let single_query = match &args.query {
         Some(q) if q == "-" => {
             let mut buf = String::new();
@@ -200,7 +300,7 @@ fn main() {
         if queries.is_empty() {
             fail("replay: no queries (file empty, or missing QUERY argument)");
         }
-        replay(&store, &queries, args.workers.max(1), args.repeat.max(1));
+        replay(&store, &queries, args.workers.max(1), args.repeat.max(1), &args);
         dump_metrics(&args);
         return;
     }
@@ -227,7 +327,7 @@ fn main() {
         return;
     }
 
-    match store.query(&query) {
+    match store.query_with(&query, exec_options(&args)) {
         Ok(results) => {
             if args.json {
                 println!("{}", sparql::json::to_json(&results));
@@ -276,61 +376,126 @@ fn split_queries(text: &str) -> Vec<String> {
     out
 }
 
+/// Per-worker replay outcome tallies.
+#[derive(Default)]
+struct ReplayTally {
+    rows: usize,
+    ok: usize,
+    /// Governor rejections (`Overloaded`): queue full or queue timeout.
+    shed: usize,
+    /// Resource aborts: deadline or memory budget (`ResourceExhausted`).
+    aborted: usize,
+    /// Cooperative cancellations (Ctrl-C).
+    cancelled: usize,
+}
+
 /// Replays the query list `repeat` times from each of `workers` threads
 /// against one shared store and reports aggregate throughput plus
 /// per-query p50/p95/p99 latency. A warm-up pass populates the plan
 /// cache first, so the timed region measures concurrent execution, not
-/// compilation.
-fn replay(store: &PgRdfStore, queries: &[String], workers: usize, repeat: usize) {
+/// compilation. Governor rejections and resource aborts are tallied,
+/// not fatal; when a governor is installed its admission counters and
+/// queue-wait percentiles are reported at the end.
+fn replay(store: &PgRdfStore, queries: &[String], workers: usize, repeat: usize, args: &Args) {
     for q in queries {
         store.query(q).unwrap_or_else(|e| fail(&format!("replay warm-up: {e}")));
     }
+    // Warm-up queries bypass limits; admission stats start clean.
+    if let Some(g) = store.governor() {
+        g.reset_stats();
+    }
     let t0 = Instant::now();
-    let (rows, mut latencies): (usize, Vec<Vec<u64>>) = std::thread::scope(|scope| {
+    let (tally, mut latencies): (ReplayTally, Vec<Vec<u64>>) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
-                    let mut rows = 0usize;
+                    let mut tally = ReplayTally::default();
                     let mut lat: Vec<Vec<u64>> =
                         vec![Vec::with_capacity(repeat); queries.len()];
-                    for _ in 0..repeat {
+                    'outer: for _ in 0..repeat {
                         for (i, q) in queries.iter().enumerate() {
                             let start = Instant::now();
-                            match store.query(q) {
-                                Ok(sparql::QueryResults::Solutions(s)) => rows += s.len(),
-                                Ok(_) => rows += 1,
+                            match store.query_with(q, exec_options(args)) {
+                                Ok(sparql::QueryResults::Solutions(s)) => {
+                                    tally.rows += s.len();
+                                    tally.ok += 1;
+                                }
+                                Ok(_) => {
+                                    tally.rows += 1;
+                                    tally.ok += 1;
+                                }
+                                Err(pgrdf::CoreError::Overloaded(_)) => tally.shed += 1,
+                                Err(pgrdf::CoreError::Sparql(
+                                    sparql::SparqlError::ResourceExhausted(_),
+                                )) => tally.aborted += 1,
+                                Err(pgrdf::CoreError::Sparql(sparql::SparqlError::Cancelled)) => {
+                                    tally.cancelled += 1;
+                                    break 'outer;
+                                }
                                 Err(e) => fail(&format!("replay: {e}")),
                             }
                             lat[i].push(start.elapsed().as_nanos() as u64);
                         }
                     }
-                    (rows, lat)
+                    (tally, lat)
                 })
             })
             .collect();
-        let mut rows = 0usize;
+        let mut tally = ReplayTally::default();
         let mut merged: Vec<Vec<u64>> = vec![Vec::new(); queries.len()];
         for handle in handles {
-            let (r, lat) = handle.join().expect("replay worker panicked");
-            rows += r;
+            let (t, lat) = handle.join().expect("replay worker panicked");
+            tally.rows += t.rows;
+            tally.ok += t.ok;
+            tally.shed += t.shed;
+            tally.aborted += t.aborted;
+            tally.cancelled += t.cancelled;
             for (i, samples) in lat.into_iter().enumerate() {
                 merged[i].extend(samples);
             }
         }
-        (rows, merged)
+        (tally, merged)
     });
     let elapsed = t0.elapsed();
     let total = workers * repeat * queries.len();
     eprintln!(
         "{workers} workers x {repeat} pass(es) over {} quer{} = {total} executions \
-         in {:.3} s — {:.1} queries/s aggregate, {rows} rows total",
+         in {:.3} s — {:.1} queries/s aggregate, {} rows total",
         queries.len(),
         if queries.len() == 1 { "y" } else { "ies" },
         elapsed.as_secs_f64(),
         total as f64 / elapsed.as_secs_f64(),
+        tally.rows,
     );
+    if tally.shed + tally.aborted + tally.cancelled > 0 {
+        eprintln!(
+            "  outcomes: {} ok, {} shed (overload), {} aborted (limits), {} cancelled",
+            tally.ok, tally.shed, tally.aborted, tally.cancelled
+        );
+    }
+    if let Some(g) = store.governor() {
+        let stats = g.stats();
+        let fmt_wait = |p: f64| {
+            stats
+                .queue_wait_percentile(p)
+                .map(|d| fmt_nanos(d.as_nanos() as u64))
+                .unwrap_or_else(|| "-".into())
+        };
+        eprintln!(
+            "  governor: {} admitted ({} queued), {} shed, queue-wait p50={} p95={}",
+            stats.admitted,
+            stats.queued,
+            stats.shed,
+            fmt_wait(50.0),
+            fmt_wait(95.0),
+        );
+    }
     for (i, samples) in latencies.iter_mut().enumerate() {
         samples.sort_unstable();
+        if samples.is_empty() {
+            eprintln!("  q{:<2}     0 samples (all shed/aborted)", i + 1);
+            continue;
+        }
         eprintln!(
             "  q{:<2} {:>5} samples: p50={} p95={} p99={} max={}",
             i + 1,

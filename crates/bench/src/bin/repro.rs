@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale 0.02] [--seed 7739251] [table2|table5|table6|table7|table8|table9|
-//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|pr4|durability|overhead|all]
+//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|pr4|durability|overhead|governor|all]
 //! ```
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
@@ -43,7 +43,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|pr4|durability|overhead|all]"
+                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|pr4|durability|overhead|governor|all]"
                 );
                 std::process::exit(0);
             }
@@ -76,6 +76,7 @@ fn main() {
     let needs_fixture = [
         "table5", "table6", "table7", "table8", "table9", "fig4", "fig5", "fig6", "fig7",
         "fig8", "fig9", "rf", "mono", "pr2", "pr3", "pr4", "durability", "overhead",
+        "governor",
     ]
     .iter()
     .any(|s| want(s));
@@ -178,6 +179,12 @@ fn main() {
     // `repro overhead` as the telemetry-overhead guard).
     if args.sections.iter().any(|s| s == "overhead") {
         overhead_guard(&fixture);
+    }
+    // Opt-in (not part of `all`): installs and removes a process governor
+    // and exits non-zero on a regression (CI calls `repro governor` as
+    // the resource-governor overhead guard).
+    if args.sections.iter().any(|s| s == "governor") {
+        governor_guard(&fixture);
     }
 }
 
@@ -702,7 +709,9 @@ fn bench_pr3(fixture: &Fixture, args: &Args) {
                             let opts = sparql::ExecOptions::threads(1);
                             while !stop.load(Ordering::Relaxed) {
                                 for q in &queries {
-                                    store.select_in_with(&dataset, q, opts).expect("pr3 read");
+                                    store
+                                        .select_in_with(&dataset, q, opts.clone())
+                                        .expect("pr3 read");
                                     reads.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
@@ -932,6 +941,90 @@ fn overhead_guard(fixture: &Fixture) {
         std::process::exit(1);
     }
     println!("telemetry overhead within budget ({:+.1}%)", (ratio - 1.0) * 100.0);
+}
+
+/// CI guard for the resource-governor cost: the EQ1–EQ5 batch under full
+/// governance — an admission permit per query, a live cancellation token,
+/// a (generous) memory budget, and a deadline — must finish within 5% of
+/// the same batch ungoverned. Guards the per-row charge and the strided
+/// deadline/cancel checks against accidental hot-path regressions.
+fn governor_guard(fixture: &Fixture) {
+    use pgrdf::GovernorConfig;
+    use sparql::{CancelToken, ExecLimits, ExecOptions};
+    use std::time::Duration;
+
+    const ROUNDS: usize = 5;
+    const PASSES_PER_BATCH: usize = 5;
+    const BUDGET: f64 = 1.05;
+    const QUERIES: [Eq; 5] = [Eq::Eq1, Eq::Eq2, Eq::Eq3, Eq::Eq4, Eq::Eq5];
+
+    println!("\n--- Resource-governor overhead guard (budget: +5% wall time) ---");
+
+    let mut work = Vec::new();
+    for model in [PgRdfModel::NG, PgRdfModel::SP] {
+        let store = fixture.store(model);
+        for eq in QUERIES {
+            let text = fixture.query_text(eq, model);
+            let dataset = fixture.dataset_for(eq, model);
+            store.select_in(&dataset, &text).expect("governor warm-up");
+            work.push((store, dataset, text));
+        }
+    }
+
+    // Full governance: every charge path is live, no limit ever binds.
+    let token = CancelToken::new();
+    let governed_options = ExecOptions::default()
+        .with_limits(
+            ExecLimits::timeout(Duration::from_secs(3600)).with_max_memory(4 << 30),
+        )
+        .with_cancel(token.clone());
+    let batch = |options: Option<&ExecOptions>| {
+        let t0 = Instant::now();
+        for _ in 0..PASSES_PER_BATCH {
+            for (store, dataset, text) in &work {
+                match options {
+                    Some(o) => store
+                        .select_in_with(dataset, text, o.clone())
+                        .expect("governed batch"),
+                    None => store.select_in(dataset, text).expect("bare batch"),
+                };
+            }
+        }
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+
+    let mut bare_ms = Vec::with_capacity(ROUNDS);
+    let mut governed_ms = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        for (store, _, _) in &work {
+            store.clear_governor();
+        }
+        bare_ms.push(batch(None));
+        for (store, _, _) in &work {
+            store.set_governor(GovernorConfig::concurrency(64));
+        }
+        governed_ms.push(batch(Some(&governed_options)));
+    }
+    for (store, _, _) in &work {
+        store.clear_governor();
+    }
+
+    let best = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let (bare, governed) = (best(&bare_ms), best(&governed_ms));
+    let ratio = governed / bare;
+    println!(
+        "batch = EQ1-EQ5 x NG,SP x {PASSES_PER_BATCH} passes, best of {ROUNDS} rounds: \
+         bare={bare:.3}ms governed={governed:.3}ms ratio={ratio:.3}"
+    );
+    if ratio > BUDGET {
+        eprintln!(
+            "repro: governor overhead {:.1}% exceeds the {:.0}% budget",
+            (ratio - 1.0) * 100.0,
+            (BUDGET - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("governor overhead within budget ({:+.1}%)", (ratio - 1.0) * 100.0);
 }
 
 /// Engine-counter snapshot used by the PR3 per-read diagnostics.

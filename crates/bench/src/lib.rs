@@ -175,7 +175,7 @@ impl Fixture {
         let dataset = self.dataset_for(eq, model);
         let exec = || {
             store
-                .select_in_with(&dataset, &text, options)
+                .select_in_with(&dataset, &text, options.clone())
                 .unwrap_or_else(|e| panic!("{} on {model} failed: {e}", eq.label(model)))
         };
         let _warmup = exec();

@@ -15,6 +15,9 @@ pub enum CoreError {
     NotScalar(usize),
     /// SPARQL Update is only supported on the monolithic layout.
     UpdateOnPartitioned,
+    /// The admission governor rejected the query: the wait queue was
+    /// full, or the queue timeout elapsed before capacity freed up.
+    Overloaded(String),
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +32,7 @@ impl fmt::Display for CoreError {
             CoreError::UpdateOnPartitioned => {
                 write!(f, "SPARQL Update requires the monolithic layout")
             }
+            CoreError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
         }
     }
 }

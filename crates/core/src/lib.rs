@@ -23,6 +23,7 @@
 pub mod cardinality;
 pub mod convert;
 pub mod error;
+pub mod governor;
 pub mod metrics;
 pub mod partition;
 pub mod publish;
@@ -33,6 +34,7 @@ pub mod vocab;
 
 pub use convert::{convert, convert_with, ConvertOptions, PgRdfModel};
 pub use error::CoreError;
+pub use governor::{AdmissionPermit, Governor, GovernorConfig, GovernorStats};
 pub use metrics::SlowQuery;
 pub use queries::QuerySet;
 pub use store::{LoadOptions, PartitionLayout, PgRdfStore};

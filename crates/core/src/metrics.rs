@@ -13,7 +13,30 @@ use std::sync::{Arc, OnceLock};
 
 use sparql::plan::{CForm, CSelect, Node};
 use sparql::CompiledQuery;
-use telemetry::Histogram;
+use telemetry::{Counter, Histogram};
+
+macro_rules! counter_fn {
+    ($fn:ident, $name:expr, $help:expr) => {
+        /// Cached global counter (see the metric catalog in DESIGN.md §11).
+        pub(crate) fn $fn() -> &'static Counter {
+            static C: OnceLock<Arc<Counter>> = OnceLock::new();
+            C.get_or_init(|| telemetry::global().counter($name, $help))
+        }
+    };
+}
+
+counter_fn!(governor_admitted, "pgrdf_governor_admitted_total", "Queries admitted by the resource governor");
+counter_fn!(governor_queued, "pgrdf_governor_queued_total", "Queries that waited in the admission queue");
+counter_fn!(governor_shed, "pgrdf_governor_shed_total", "Queries shed by the governor (queue full or timeout)");
+
+/// Cached global histogram of admission queue waits.
+pub(crate) fn governor_queue_wait_nanos() -> &'static Histogram {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        telemetry::global()
+            .histogram("pgrdf_governor_queue_wait_nanos", "Admission queue wait in nanoseconds")
+    })
+}
 
 /// One retained slow-query record.
 #[derive(Debug, Clone, PartialEq, Eq)]

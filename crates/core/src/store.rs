@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use propertygraph::PropertyGraph;
@@ -15,6 +15,7 @@ use sparql::{
 
 use crate::convert::{convert_with, ConvertOptions, PgRdfModel};
 use crate::error::CoreError;
+use crate::governor::{AdmissionPermit, Governor, GovernorConfig};
 use crate::metrics::SlowQuery;
 use crate::partition::{classify, PartitionNames, QuadClass};
 use crate::queries::QuerySet;
@@ -93,6 +94,8 @@ pub struct PgRdfStore {
     slow_threshold_nanos: AtomicU64,
     /// Bounded ring of the most recent queries over the threshold.
     slow_log: Mutex<VecDeque<SlowQuery>>,
+    /// Admission governor; `None` (the default) admits everything.
+    governor: Mutex<Option<Arc<Governor>>>,
 }
 
 /// Retained slow-query entries before the oldest is dropped.
@@ -183,6 +186,7 @@ impl PgRdfStore {
             plan_cache: PlanCache::default(),
             slow_threshold_nanos: AtomicU64::new(0),
             slow_log: Mutex::new(VecDeque::new()),
+            governor: Mutex::new(None),
         })
     }
 
@@ -223,6 +227,50 @@ impl PgRdfStore {
         }
     }
 
+    /// Installs a process-wide admission [`Governor`] on this store:
+    /// every query entry point first acquires a permit (waiting in the
+    /// governor's FIFO queue at capacity) and sheds with
+    /// [`CoreError::Overloaded`] when the queue overflows or times out.
+    pub fn set_governor(&self, config: GovernorConfig) -> Arc<Governor> {
+        let governor = Governor::new(config);
+        *self.governor.lock().expect("governor slot") = Some(Arc::clone(&governor));
+        governor
+    }
+
+    /// Shares an existing governor (several stores can gate on one
+    /// process-wide instance).
+    pub fn share_governor(&self, governor: Arc<Governor>) {
+        *self.governor.lock().expect("governor slot") = Some(governor);
+    }
+
+    /// Removes the admission governor; queries run ungated again.
+    pub fn clear_governor(&self) {
+        *self.governor.lock().expect("governor slot") = None;
+    }
+
+    /// The installed governor, if any.
+    pub fn governor(&self) -> Option<Arc<Governor>> {
+        self.governor.lock().expect("governor slot").clone()
+    }
+
+    /// Acquires an admission permit when a governor is installed. The
+    /// reservation is the query's effective memory budget (explicit
+    /// limit, else the process default, else the governor's default).
+    fn admit(&self, options: &ExecOptions) -> Result<Option<AdmissionPermit>, CoreError> {
+        let governor = self.governor.lock().expect("governor slot").clone();
+        match governor {
+            None => Ok(None),
+            Some(g) => {
+                let reservation = options
+                    .limits
+                    .max_memory
+                    .or_else(sparql::default_max_memory)
+                    .unwrap_or(0);
+                g.admit(reservation).map(Some)
+            }
+        }
+    }
+
     /// Parses and compiles through the plan cache, then executes. A cache
     /// hit replays the compiled plan with zero parse/compile work; the
     /// entry's epoch stamp guarantees any store mutation since compile
@@ -248,6 +296,10 @@ impl PgRdfStore {
         text: &str,
         options: ExecOptions,
     ) -> Result<QueryResults, CoreError> {
+        // Admission happens before any per-query work and the permit is
+        // held for the query's whole lifetime (RAII: released on every
+        // exit path, including errors below).
+        let _permit = self.admit(&options)?;
         let view = snapshot.dataset(dataset)?;
         // The key folds in the dataset name *and* the physical index
         // signature: plans bake index choices into their access paths.
@@ -333,6 +385,7 @@ impl PgRdfStore {
         text: &str,
         options: ExecOptions,
     ) -> Result<(Solutions, QueryProfile), CoreError> {
+        let _permit = self.admit(&options)?;
         let snapshot = self.store.snapshot();
         let view = snapshot.dataset(dataset)?;
         let key = format!("{dataset}={}", view.index_signature());
@@ -399,6 +452,12 @@ impl PgRdfStore {
         self.query_cached(&self.dataset_name(), text, ExecOptions::default())
     }
 
+    /// [`Self::query`] with explicit execution options (limits, threads,
+    /// cancellation token).
+    pub fn query_with(&self, text: &str, options: ExecOptions) -> Result<QueryResults, CoreError> {
+        self.query_cached(&self.dataset_name(), text, options)
+    }
+
     /// Runs a SELECT and returns solutions.
     pub fn select(&self, text: &str) -> Result<Solutions, CoreError> {
         self.select_in_with(&self.dataset_name(), text, ExecOptions::default())
@@ -424,6 +483,20 @@ impl PgRdfStore {
                 sparql::SparqlError::Unsupported("expected a SELECT query".into()),
             )),
         }
+    }
+
+    /// [`Self::select_in_with`] wired to a caller-held
+    /// [`sparql::CancelToken`]: cancel the token from any thread and the
+    /// running query aborts with [`sparql::SparqlError::Cancelled`] in
+    /// bounded time — mid-morsel, mid-hash-build, or mid-path-expansion.
+    pub fn select_cancellable(
+        &self,
+        dataset: &str,
+        text: &str,
+        options: ExecOptions,
+        cancel: &sparql::CancelToken,
+    ) -> Result<Solutions, CoreError> {
+        self.select_in_with(dataset, text, options.with_cancel(cancel.clone()))
     }
 
     /// The compiled-plan cache (hit/miss/invalidation counters for tests
@@ -591,6 +664,7 @@ impl PgRdfStore {
             plan_cache: PlanCache::default(),
             slow_threshold_nanos: AtomicU64::new(0),
             slow_log: Mutex::new(VecDeque::new()),
+            governor: Mutex::new(None),
         })
     }
 }

@@ -26,6 +26,11 @@ pub enum StoreError {
     /// On-disk data failed a checksum or structural validity check
     /// (snapshot file, WAL frame) — the bytes are present but wrong.
     Corrupt(String),
+    /// The durable store degraded to read-only after a persistent media
+    /// failure: writes fail fast with this error until a recovery probe
+    /// re-arms the write path, while reads keep serving the last
+    /// published generation. Carries the failure that caused the flip.
+    ReadOnly(String),
 }
 
 impl fmt::Display for StoreError {
@@ -44,6 +49,9 @@ impl fmt::Display for StoreError {
             StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
             StoreError::Manifest(msg) => write!(f, "manifest error: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt store data: {msg}"),
+            StoreError::ReadOnly(cause) => {
+                write!(f, "store is read-only after a storage failure: {cause}")
+            }
         }
     }
 }

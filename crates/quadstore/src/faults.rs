@@ -117,6 +117,49 @@ impl Vfs for RealFs {
     }
 }
 
+/// The kind of mutating [`Vfs`] operation, for matching scheduled
+/// faults against specific parts of the durable path (e.g. "fail the
+/// next three WAL appends" or "every fsync storms out").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// `Vfs::write` (whole-file create/overwrite).
+    Write,
+    /// `Vfs::append` (WAL frames).
+    Append,
+    /// `Vfs::truncate`.
+    Truncate,
+    /// `Vfs::rename` (snapshot commit points).
+    Rename,
+    /// `Vfs::remove_file`.
+    Remove,
+    /// `Vfs::sync_file` / `Vfs::sync_dir` (fsyncs).
+    Sync,
+    /// Any mutating operation.
+    Any,
+}
+
+impl FaultOp {
+    fn matches(self, actual: FaultOp) -> bool {
+        self == FaultOp::Any || self == actual
+    }
+}
+
+/// A scheduled transient fault: the next `remaining` operations matching
+/// `op` (and, optionally, a path substring) fail with a *non-retryable*
+/// I/O error — distinct from [`FaultPlan::transient_at`]'s `EINTR`s,
+/// which [`retry_interrupted`] absorbs inline. Scheduled faults exercise
+/// the caller's own retry/backoff and degradation logic instead.
+#[derive(Debug, Clone)]
+pub struct ScheduledFault {
+    /// Which operation kind to fail.
+    pub op: FaultOp,
+    /// Only fail ops whose path contains this substring (any path if
+    /// `None`).
+    pub path_contains: Option<String>,
+    /// How many more matching ops fail before the schedule is spent.
+    pub remaining: u64,
+}
+
 /// What [`FaultyVfs`] should do, set up per test scenario.
 #[derive(Debug, Default, Clone)]
 pub struct FaultPlan {
@@ -128,6 +171,9 @@ pub struct FaultPlan {
     /// Mutating-op indexes that fail once with an `Interrupted` error
     /// (the op does not happen) and then succeed on retry.
     pub transient_at: BTreeSet<u64>,
+    /// Scheduled transient faults (fail the next N matching ops, then
+    /// succeed). Checked in order; the first live match fires.
+    pub fail_next: Vec<ScheduledFault>,
     /// Silently skip fsyncs (they still count as mutation points).
     pub drop_syncs: bool,
 }
@@ -173,13 +219,35 @@ impl FaultyVfs {
         *self.crashed.lock().expect("crash flag")
     }
 
+    /// Schedules a transient fault at runtime: the next `n` operations
+    /// matching `op` fail with a non-retryable I/O error, then succeed.
+    pub fn fail_next(&self, op: FaultOp, n: u64) {
+        self.schedule(ScheduledFault { op, path_contains: None, remaining: n });
+    }
+
+    /// Schedules an arbitrary transient fault at runtime.
+    pub fn schedule(&self, fault: ScheduledFault) {
+        self.plan.lock().expect("fault plan").fail_next.push(fault);
+    }
+
+    /// Drops all scheduled transient faults (spent or not).
+    pub fn clear_scheduled(&self) {
+        self.plan.lock().expect("fault plan").fail_next.clear();
+    }
+
+    /// Scheduled transient failures still pending across all schedules.
+    pub fn scheduled_remaining(&self) -> u64 {
+        let plan = self.plan.lock().expect("fault plan");
+        plan.fail_next.iter().map(|f| f.remaining).sum()
+    }
+
     fn crash_error() -> io::Error {
         io::Error::other("simulated crash (fault injection)")
     }
 
     /// Charges one write point. `Ok(true)` means "this op is the kill
     /// point": persist a partial effect, then die.
-    fn charge(&self) -> io::Result<bool> {
+    fn charge(&self, kind: FaultOp, path: &Path) -> io::Result<bool> {
         if *self.crashed.lock().expect("crash flag") {
             return Err(Self::crash_error());
         }
@@ -191,6 +259,21 @@ impl FaultyVfs {
         if plan.kill_at == Some(op) {
             *self.crashed.lock().expect("crash flag") = true;
             return Ok(true);
+        }
+        let lossy = path.to_string_lossy();
+        for fault in plan.fail_next.iter_mut() {
+            if fault.remaining == 0 || !fault.op.matches(kind) {
+                continue;
+            }
+            if let Some(sub) = &fault.path_contains {
+                if !lossy.contains(sub.as_str()) {
+                    continue;
+                }
+            }
+            fault.remaining -= 1;
+            // Deliberately NOT `Interrupted`: this error must reach the
+            // caller's backoff/degradation path, not `retry_interrupted`.
+            return Err(io::Error::other(format!("injected transient {kind:?} failure")));
         }
         Ok(false)
     }
@@ -211,7 +294,7 @@ impl Vfs for FaultyVfs {
     }
 
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
-        if self.charge()? {
+        if self.charge(FaultOp::Write, path)? {
             let _ = self.inner.write(path, &data[..data.len() / 2]);
             return Err(Self::crash_error());
         }
@@ -219,7 +302,7 @@ impl Vfs for FaultyVfs {
     }
 
     fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
-        if self.charge()? {
+        if self.charge(FaultOp::Append, path)? {
             let _ = self.inner.append(path, &data[..data.len() / 2]);
             return Err(Self::crash_error());
         }
@@ -227,28 +310,28 @@ impl Vfs for FaultyVfs {
     }
 
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
-        if self.charge()? {
+        if self.charge(FaultOp::Truncate, path)? {
             return Err(Self::crash_error());
         }
         self.inner.truncate(path, len)
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        if self.charge()? {
+        if self.charge(FaultOp::Rename, from)? {
             return Err(Self::crash_error());
         }
         self.inner.rename(from, to)
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
-        if self.charge()? {
+        if self.charge(FaultOp::Remove, path)? {
             return Err(Self::crash_error());
         }
         self.inner.remove_file(path)
     }
 
     fn sync_file(&self, path: &Path) -> io::Result<()> {
-        if self.charge()? {
+        if self.charge(FaultOp::Sync, path)? {
             return Err(Self::crash_error());
         }
         if self.plan.lock().expect("fault plan").drop_syncs {
@@ -258,7 +341,7 @@ impl Vfs for FaultyVfs {
     }
 
     fn sync_dir(&self, path: &Path) -> io::Result<()> {
-        if self.charge()? {
+        if self.charge(FaultOp::Sync, path)? {
             return Err(Self::crash_error());
         }
         if self.plan.lock().expect("fault plan").drop_syncs {
@@ -315,6 +398,40 @@ mod tests {
         let result = retry_interrupted(|| vfs.write(&path, b"ok"));
         assert!(result.is_ok());
         assert_eq!(std::fs::read(&path).unwrap(), b"ok");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scheduled_faults_fail_n_matching_ops_then_succeed() {
+        let dir = tmp("sched");
+        let vfs = FaultyVfs::counting();
+        vfs.fail_next(FaultOp::Append, 2);
+        let path = dir.join("wal");
+        // Non-matching kinds sail through while appends are scheduled.
+        vfs.write(&path, b"head").unwrap();
+        let e = vfs.append(&path, b"x").unwrap_err();
+        // Must NOT be Interrupted: retry_interrupted would absorb it.
+        assert_ne!(e.kind(), io::ErrorKind::Interrupted);
+        assert!(vfs.append(&path, b"x").is_err());
+        assert_eq!(vfs.scheduled_remaining(), 0);
+        vfs.append(&path, b"x").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"headx");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scheduled_faults_can_target_a_path_substring() {
+        let dir = tmp("sched_path");
+        let vfs = FaultyVfs::counting();
+        vfs.schedule(ScheduledFault {
+            op: FaultOp::Any,
+            path_contains: Some("victim".into()),
+            remaining: 1,
+        });
+        vfs.write(&dir.join("other"), b"ok").unwrap();
+        assert!(vfs.write(&dir.join("victim"), b"no").is_err());
+        vfs.write(&dir.join("victim"), b"yes").unwrap();
+        vfs.clear_scheduled();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

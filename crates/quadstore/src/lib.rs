@@ -36,9 +36,9 @@ pub mod store;
 pub mod wal;
 
 pub use dataset::{DatasetView, Morsel};
-pub use durable::{DurableStore, SyncPolicy};
+pub use durable::{DurableStore, RetryPolicy, SyncPolicy};
 pub use error::StoreError;
-pub use faults::{FaultPlan, FaultyVfs, RealFs, Vfs};
+pub use faults::{FaultOp, FaultPlan, FaultyVfs, RealFs, ScheduledFault, Vfs};
 pub use ids::{EncodedQuad, GraphConstraint, QuadPattern};
 pub use index::{Component, IndexKind, SortedIndex};
 pub use model::{AccessPath, SemanticModel};

@@ -16,8 +16,10 @@ pub enum SparqlError {
     /// Error from the underlying quad store.
     Store(quadstore::StoreError),
     /// Execution exceeded a configured [`crate::ExecLimits`] bound (row
-    /// budget or deadline) and was aborted.
+    /// budget, memory budget, or deadline) and was aborted.
     ResourceExhausted(String),
+    /// Execution was cancelled through a [`crate::CancelToken`].
+    Cancelled,
 }
 
 impl fmt::Display for SparqlError {
@@ -30,6 +32,7 @@ impl fmt::Display for SparqlError {
             SparqlError::ResourceExhausted(msg) => {
                 write!(f, "resource limit exhausted: {msg}")
             }
+            SparqlError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

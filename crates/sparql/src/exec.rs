@@ -44,22 +44,83 @@ pub struct ExecLimits {
     /// Abort once this instant passes (`None` = no deadline). Checked
     /// every ~1024 row charges to keep the clock off the hot path.
     pub deadline: Option<Instant>,
+    /// Abort once the estimated bytes of retained intermediate state
+    /// (hash-join build sides, group-by partials, sort/DISTINCT buffers,
+    /// path-search frontiers, morsel output buffers) exceed this budget
+    /// (`None` = fall back to the process-wide default, see
+    /// [`set_default_max_memory`]; a default of zero means unbounded).
+    pub max_memory: Option<u64>,
 }
 
 impl ExecLimits {
     /// A limit on intermediate rows only.
     pub fn rows(max_rows: u64) -> ExecLimits {
-        ExecLimits { max_rows: Some(max_rows), deadline: None }
+        ExecLimits { max_rows: Some(max_rows), ..ExecLimits::default() }
     }
 
     /// A deadline `timeout` from now.
     pub fn timeout(timeout: std::time::Duration) -> ExecLimits {
-        ExecLimits { max_rows: None, deadline: Some(Instant::now() + timeout) }
+        ExecLimits { deadline: Some(Instant::now() + timeout), ..ExecLimits::default() }
+    }
+
+    /// A memory budget only.
+    pub fn memory(bytes: u64) -> ExecLimits {
+        ExecLimits { max_memory: Some(bytes), ..ExecLimits::default() }
+    }
+
+    /// Sets the memory budget on existing limits.
+    pub fn with_max_memory(mut self, bytes: u64) -> Self {
+        self.max_memory = Some(bytes);
+        self
     }
 }
 
-/// How often (in row charges) the deadline is compared against the clock.
+/// How often (in row charges or phase ticks) the deadline and the cancel
+/// token are checked.
 const DEADLINE_STRIDE: u64 = 1024;
+
+/// Process-wide default per-query memory budget in bytes (0 = none).
+static DEFAULT_MAX_MEMORY: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the process-wide default per-query memory budget, applied to any
+/// execution whose [`ExecLimits::max_memory`] is unset. `0` clears it.
+pub fn set_default_max_memory(bytes: u64) {
+    DEFAULT_MAX_MEMORY.store(bytes, Ordering::Relaxed);
+}
+
+/// The process-wide default per-query memory budget, if one is set.
+pub fn default_max_memory() -> Option<u64> {
+    match DEFAULT_MAX_MEMORY.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// A shareable handle that cooperatively cancels one query execution.
+/// Cloning is cheap (an `Arc`); every clone observes the same flag. The
+/// executor polls the token at the same strided periodic check as the
+/// deadline — on the row-charge path and in the rowless phases (hash
+/// builds, aggregation, path expansion) — so cancellation lands mid-morsel
+/// in bounded time and surfaces as [`SparqlError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent and safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Default number of driving-scan rows per morsel.
 pub const DEFAULT_MORSEL_SIZE: usize = 2048;
@@ -70,14 +131,16 @@ pub const DEFAULT_MORSEL_SIZE: usize = 2048;
 /// `threads == 1` disables the morsel-parallel executor entirely and runs
 /// the legacy streaming pipeline, which is the reference for the
 /// bit-identical-results guarantee.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
-    /// Resource limits (row budget, deadline).
+    /// Resource limits (row budget, memory budget, deadline).
     pub limits: ExecLimits,
     /// Worker thread count (0 = auto-detect, 1 = sequential).
     pub threads: usize,
     /// Driving-scan rows per morsel (clamped to at least 1).
     pub morsel_size: usize,
+    /// Cooperative cancellation token (`None` = not cancellable).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ExecOptions {
@@ -86,6 +149,7 @@ impl Default for ExecOptions {
             limits: ExecLimits::default(),
             threads: 0,
             morsel_size: DEFAULT_MORSEL_SIZE,
+            cancel: None,
         }
     }
 }
@@ -111,6 +175,12 @@ impl ExecOptions {
     /// Sets the morsel size (clamped to at least 1).
     pub fn with_morsel_size(mut self, size: usize) -> Self {
         self.morsel_size = size.max(1);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -198,15 +268,50 @@ pub struct EvalCtx {
     pub exists: Vec<Node>,
     computed: RwLock<Computed>,
     limits: ExecLimits,
+    /// Resolved memory budget: the per-query limit, else the process-wide
+    /// default at context-construction time.
+    max_memory: Option<u64>,
+    /// Whether the strided periodic check has anything to look at (a
+    /// deadline or a cancel token) — precomputed so the row-charge hot
+    /// path pays nothing when neither is configured.
+    check_periodic: bool,
+    cancel: Option<CancelToken>,
     threads: usize,
     morsel_size: usize,
     charged: AtomicU64,
     next_deadline_check: AtomicU64,
+    /// Phase ticks from rowless work (hash builds, aggregate finalization,
+    /// path expansion) — a separate counter so blocked phases get the same
+    /// periodic deadline/cancel coverage without consuming the row budget.
+    ticks: AtomicU64,
+    next_tick_check: AtomicU64,
+    /// Estimated bytes of retained intermediate state.
+    mem_bytes: AtomicU64,
     exhausted_flag: AtomicBool,
-    exhausted: Mutex<Option<String>>,
+    exhausted: Mutex<Option<(AbortKind, String)>>,
     shared: SharedState,
     profile: Option<Arc<ProfileState>>,
 }
+
+/// Why an execution was aborted: a resource limit fired, or the user
+/// cancelled it. Distinguished so the surfaced error is typed correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortKind {
+    Resource,
+    Cancelled,
+}
+
+/// Estimated retained bytes per hash-join build-side quad (the encoded
+/// quad plus its share of key and bucket overhead).
+const BUILD_ROW_BYTES: u64 = 56;
+/// Estimated retained bytes per newly visited path-search node (frontier,
+/// visited set, and result set entries).
+const PATH_NODE_BYTES: u64 = 48;
+/// Estimated retained bytes per materialised output row slot.
+const SLOT_BYTES: u64 = 9;
+/// How many uncharged units a local accumulator may hold before it must
+/// charge the shared context (mirrors `WALK_CHARGE_CHUNK`).
+const MEM_CHARGE_CHUNK: u64 = 1024;
 
 #[derive(Default)]
 struct Computed {
@@ -229,10 +334,16 @@ impl EvalCtx {
             exists,
             computed: RwLock::new(Computed::default()),
             limits: ExecLimits::default(),
+            max_memory: default_max_memory(),
+            check_periodic: false,
+            cancel: None,
             threads: 1,
             morsel_size: DEFAULT_MORSEL_SIZE,
             charged: AtomicU64::new(0),
             next_deadline_check: AtomicU64::new(DEADLINE_STRIDE),
+            ticks: AtomicU64::new(0),
+            next_tick_check: AtomicU64::new(DEADLINE_STRIDE),
+            mem_bytes: AtomicU64::new(0),
             exhausted_flag: AtomicBool::new(false),
             exhausted: Mutex::new(None),
             shared: SharedState::default(),
@@ -252,13 +363,22 @@ impl EvalCtx {
     /// Applies resource limits to this execution.
     pub fn with_limits(mut self, limits: ExecLimits) -> Self {
         self.limits = limits;
+        self.max_memory = limits.max_memory.or_else(default_max_memory);
+        self.check_periodic = limits.deadline.is_some() || self.cancel.is_some();
+        if self.check_periodic {
+            // A token cancelled (or a deadline expired) before execution
+            // starts must abort up front — queries small enough to finish
+            // within one stride would otherwise never observe it.
+            self.check_now();
+        }
         self
     }
 
     /// Applies execution options, resolving `threads == 0` to the
     /// machine's available parallelism.
     pub fn with_options(mut self, options: ExecOptions) -> Self {
-        self.limits = options.limits;
+        self.cancel = options.cancel;
+        self = self.with_limits(options.limits);
         self.threads = if options.threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
@@ -287,23 +407,84 @@ impl EvalCtx {
                 return false;
             }
         }
+        if self.check_periodic && total >= self.next_deadline_check.load(Ordering::Relaxed) {
+            self.next_deadline_check
+                .store(total + DEADLINE_STRIDE, Ordering::Relaxed);
+            return self.check_now();
+        }
+        true
+    }
+
+    /// Charges `n` units of rowless work (build-side quads scanned, groups
+    /// finalized, path nodes expanded) against the periodic deadline and
+    /// cancellation check *without* consuming the row budget. Phases that
+    /// produce no rows route through this so they observe limits with the
+    /// same stride as row-producing operators.
+    pub fn tick(&self, n: u64) -> bool {
+        if self.exhausted_flag.load(Ordering::Relaxed) {
+            return false;
+        }
+        if !self.check_periodic {
+            return true;
+        }
+        let total = self.ticks.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        if total >= self.next_tick_check.load(Ordering::Relaxed) {
+            self.next_tick_check
+                .store(total + DEADLINE_STRIDE, Ordering::Relaxed);
+            return self.check_now();
+        }
+        true
+    }
+
+    /// The immediate deadline/cancellation check behind the strides.
+    fn check_now(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                self.exhaust_kind(AbortKind::Cancelled, "cancelled".into());
+                return false;
+            }
+        }
         if let Some(deadline) = self.limits.deadline {
-            if total >= self.next_deadline_check.load(Ordering::Relaxed) {
-                self.next_deadline_check
-                    .store(total + DEADLINE_STRIDE, Ordering::Relaxed);
-                if Instant::now() >= deadline {
-                    self.exhaust("deadline exceeded".into());
-                    return false;
-                }
+            if Instant::now() >= deadline {
+                self.exhaust("deadline exceeded".into());
+                return false;
             }
         }
         true
     }
 
+    /// Charges `bytes` of retained intermediate state against the memory
+    /// budget. Returns `false` (sticky, like [`Self::charge`]) once the
+    /// budget is exceeded; a no-op when no budget is configured.
+    pub fn charge_mem(&self, bytes: u64) -> bool {
+        let Some(max) = self.max_memory else {
+            return !self.exhausted_flag.load(Ordering::Relaxed);
+        };
+        if self.exhausted_flag.load(Ordering::Relaxed) {
+            return false;
+        }
+        let total = self
+            .mem_bytes
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        if total > max {
+            self.exhaust(format!(
+                "memory budget of {max} bytes exceeded (an estimated {total} bytes of \
+                 intermediate state)"
+            ));
+            return false;
+        }
+        true
+    }
+
     fn exhaust(&self, reason: String) {
+        self.exhaust_kind(AbortKind::Resource, reason);
+    }
+
+    fn exhaust_kind(&self, kind: AbortKind, reason: String) {
         let mut guard = self.exhausted.lock().unwrap();
         if guard.is_none() {
-            *guard = Some(reason);
+            *guard = Some((kind, reason));
         }
         self.exhausted_flag.store(true, Ordering::Relaxed);
     }
@@ -312,9 +493,27 @@ impl EvalCtx {
         self.exhausted_flag.load(Ordering::Relaxed)
     }
 
-    /// Why execution was aborted, if a limit was hit.
+    /// Why execution was aborted, if a limit was hit or it was cancelled.
     pub fn exhaustion(&self) -> Option<String> {
-        self.exhausted.lock().unwrap().clone()
+        self.exhausted
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|(_, reason)| reason.clone())
+    }
+
+    /// The typed error for an aborted execution, if any: cancellation
+    /// surfaces as [`SparqlError::Cancelled`], everything else as
+    /// [`SparqlError::ResourceExhausted`].
+    fn abort_error(&self) -> Option<SparqlError> {
+        self.exhausted
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|(kind, reason)| match kind {
+                AbortKind::Cancelled => SparqlError::Cancelled,
+                AbortKind::Resource => SparqlError::ResourceExhausted(reason.clone()),
+            })
     }
 
     /// Resolves an ID (store or computed) to an owned term.
@@ -405,6 +604,15 @@ impl EvalCtx {
             eval_node(self, inner, probe).collect()
         })
         .clone()
+    }
+}
+
+impl path::PathBudget for EvalCtx {
+    /// Path expansion is a blocked phase: newly visited search nodes are
+    /// retained (visited/frontier/result sets), so they charge the memory
+    /// budget, and tick the periodic deadline/cancel check.
+    fn path_nodes(&self, nodes: u64) -> bool {
+        self.charge_mem(nodes * PATH_NODE_BYTES) && self.tick(nodes)
     }
 }
 
@@ -539,8 +747,8 @@ fn execute_with_ctx(ctx: &EvalCtx, compiled: &CompiledQuery) -> Result<QueryResu
             let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
             let mut out = eval_node(ctx, node, input);
             let answer = out.next().is_some();
-            if let Some(reason) = ctx.exhaustion() {
-                return Err(SparqlError::ResourceExhausted(reason));
+            if let Some(err) = ctx.abort_error() {
+                return Err(err);
             }
             Ok(QueryResults::Boolean(answer))
         }
@@ -596,11 +804,18 @@ pub fn exec_select(ctx: &EvalCtx, sel: &CSelect) -> Result<Vec<Row>, SparqlError
     // A limit hit anywhere below — including inside a sub-select whose
     // error was discarded — surfaces here rather than as silently
     // truncated results.
-    if let Some(reason) = ctx.exhaustion() {
-        return Err(SparqlError::ResourceExhausted(reason));
+    if let Some(err) = ctx.abort_error() {
+        return Err(err);
     }
 
     if !sel.order_by.is_empty() {
+        // The sort buffer holds every row plus its evaluated keys; charge
+        // it up front so a pathological ORDER BY aborts before the
+        // materialisation, not after.
+        let key_bytes = (sel.order_by.len() as u64).max(1) * 32;
+        if !ctx.charge_mem(rows.len() as u64 * key_bytes) {
+            return Err(ctx.abort_error().expect("charge_mem failure records a reason"));
+        }
         let mut keyed: Vec<(Vec<Option<Value>>, Row)> = rows
             .into_iter()
             .map(|row| {
@@ -648,10 +863,19 @@ pub fn exec_select(ctx: &EvalCtx, sel: &CSelect) -> Result<Vec<Row>, SparqlError
 
     if sel.distinct {
         let mut seen = HashSet::new();
+        let key_bytes = slots.len() as u64 * SLOT_BYTES + 48;
+        let mut over_budget = false;
         projected.retain(|row| {
             let key: Vec<Option<u64>> = slots.iter().map(|&s| row[s]).collect();
-            seen.insert(key)
+            let fresh = seen.insert(key);
+            if fresh && !ctx.charge_mem(key_bytes) {
+                over_budget = true;
+            }
+            fresh
         });
+        if over_budget {
+            return Err(ctx.abort_error().expect("charge_mem failure records a reason"));
+        }
     }
 
     let offset = sel.offset.unwrap_or(0);
@@ -701,7 +925,11 @@ impl Acc {
             }
             (Acc::CountDistinct(set), CAggregate::Count { expr, .. }) => {
                 if let Some(v) = eval(expr) {
-                    set.insert(ctx.intern_value(v));
+                    if set.insert(ctx.intern_value(v)) {
+                        // Sticky on failure; the operator loop above
+                        // notices via its own charges or the final check.
+                        let _ = ctx.charge_mem(16);
+                    }
                 }
             }
             (Acc::Sum { int, float, any_float, seen }, CAggregate::Sum(expr)) => {
@@ -800,6 +1028,13 @@ fn grouped_rows(ctx: &EvalCtx, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
     group_and_aggregate(ctx, sel, solutions)
 }
 
+/// Estimated retained bytes for one group-by partial: the key vector plus
+/// one accumulator per aggregate (distinct-sets grow beyond this and
+/// charge separately per element).
+fn group_mem_bytes(sel: &CSelect) -> u64 {
+    48 + sel.group_slots.len() as u64 * SLOT_BYTES + sel.aggregates.len() as u64 * 48
+}
+
 fn group_and_aggregate(
     ctx: &EvalCtx,
     sel: &CSelect,
@@ -807,13 +1042,20 @@ fn group_and_aggregate(
 ) -> Result<Vec<Row>, SparqlError> {
     let mut groups: HashMap<Vec<Option<u64>>, Vec<Acc>> = HashMap::new();
     let make_accs = || sel.aggregates.iter().map(Acc::new).collect::<Vec<_>>();
+    let group_bytes = group_mem_bytes(sel);
     let mut saw_rows = false;
     for row in solutions {
         saw_rows = true;
         let key: Vec<Option<u64>> = sel.group_slots.iter().map(|&s| row[s]).collect();
+        let before = groups.len();
         let accs = groups.entry(key).or_insert_with(make_accs);
         for (acc, agg) in accs.iter_mut().zip(&sel.aggregates) {
             acc.update(ctx, agg, &row);
+        }
+        // Group-by partials are retained state: each fresh group charges
+        // the memory budget, and an exceeded budget stops consuming input.
+        if groups.len() > before && !ctx.charge_mem(group_bytes) {
+            break;
         }
     }
     finalize_groups(ctx, sel, groups, saw_rows)
@@ -835,6 +1077,11 @@ fn finalize_groups(
 
     let mut out = Vec::with_capacity(groups.len());
     for (key, accs) in groups {
+        // Finalization charges no rows; tick so a deadline or cancel
+        // lands inside a huge group sweep too.
+        if !ctx.tick(1) {
+            break;
+        }
         let agg_values: Vec<Value> = accs
             .into_iter()
             .map(|a| a.finish().unwrap_or(Value::Int(0)))
@@ -889,8 +1136,14 @@ pub fn eval_node<'it>(ctx: &'it EvalCtx, node: &'it Node, input: BoxIter<'it>) -
                 if bad(&s_val) || bad(&o_val) {
                     return Vec::new().into_iter();
                 }
-                let pairs =
-                    path::eval_path_pairs(&ctx.view, &pstep.path, pstep.graph, s_val.flatten(), o_val.flatten());
+                let pairs = path::eval_path_pairs_with(
+                    &ctx.view,
+                    &pstep.path,
+                    pstep.graph,
+                    s_val.flatten(),
+                    o_val.flatten(),
+                    ctx,
+                );
                 let mut out = Vec::new();
                 for (s, o) in pairs {
                     let mut new_row = row.clone();
@@ -1160,10 +1413,23 @@ fn build_table(ctx: &EvalCtx, step: &Step, join_slots: &[usize]) -> BuildTable {
     let mut rows = 0u64;
     if !step.triple.unsatisfiable() {
         let positions = key_positions(&step.triple, join_slots);
+        let row_bytes = BUILD_ROW_BYTES + positions.len() as u64 * 8;
         for quad in ctx.view.scan(step.triple.const_pattern()) {
             let key: Vec<u64> = positions.iter().map(|&p| quad[p]).collect();
             table.entry(key).or_default().push(quad);
             rows += 1;
+            // Build sides charge no rows, so route this blocked phase
+            // through the periodic deadline/cancel check and the memory
+            // budget in chunks — one atomic op per chunk, not per quad.
+            if rows % MEM_CHARGE_CHUNK == 0
+                && (!ctx.tick(MEM_CHARGE_CHUNK) || !ctx.charge_mem(MEM_CHARGE_CHUNK * row_bytes))
+            {
+                return table;
+            }
+        }
+        let rem = rows % MEM_CHARGE_CHUNK;
+        if rem > 0 {
+            let _ = ctx.tick(rem) && ctx.charge_mem(rem * row_bytes);
         }
     }
     if telemetry::enabled() {
@@ -1652,8 +1918,9 @@ fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>) -> Vec<Row> {
         None => return Vec::new(),
     };
     let ops = build_walk_ops(ctx, plan);
+    let row_bytes = ctx.vars.len() as u64 * SLOT_BYTES + 32;
     let run_one = |morsel: &Morsel| -> Vec<Row> {
-        match &ops {
+        let out = match &ops {
             Some(ops) => {
                 let mut out = Vec::new();
                 let mut st = WalkState::default();
@@ -1662,7 +1929,13 @@ fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>) -> Vec<Row> {
                 out
             }
             None => run_one_morsel(ctx, plan, pattern, morsel),
+        };
+        // The merged result set retains every morsel's output until the
+        // final concatenation: one bulk memory charge per morsel.
+        if !out.is_empty() {
+            let _ = ctx.charge_mem(out.len() as u64 * row_bytes);
         }
+        out
     };
     let morsels = ctx.view.plan_morsels(&pattern, ctx.morsel_size);
     let track = telemetry::enabled();
@@ -1790,12 +2063,13 @@ fn eval_node_batch(ctx: &EvalCtx, node: &Node, rows: Vec<Row>) -> Vec<Row> {
                 if bad(&s_val) || bad(&o_val) {
                     continue;
                 }
-                let pairs = path::eval_path_pairs(
+                let pairs = path::eval_path_pairs_with(
                     &ctx.view,
                     &pstep.path,
                     pstep.graph,
                     s_val.flatten(),
                     o_val.flatten(),
+                    ctx,
                 );
                 for (s, o) in pairs {
                     let mut new_row = row.clone();
@@ -2487,7 +2761,7 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
         if track {
             crate::metrics::morsels_claimed().add(claimed);
         }
-        partials.push(sink.finish());
+        partials.push(sink.finish(ctx, sel));
     } else {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -2510,7 +2784,7 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
                             crate::metrics::morsels_claimed().add(claimed);
                         }
                         drop(busy);
-                        sink.finish()
+                        sink.finish(ctx, sel)
                     })
                 })
                 .collect();
@@ -2547,7 +2821,7 @@ impl RunSink {
         self.scratch.clear();
         self.scratch.extend(sel.group_slots.iter().map(|&s| row[s]));
         if !self.active || self.scratch != self.key {
-            self.flush();
+            self.flush(ctx, sel);
             self.key.clone_from(&self.scratch);
             self.accs.clear();
             self.accs.extend(sel.aggregates.iter().map(Acc::new));
@@ -2568,7 +2842,7 @@ impl RunSink {
     }
 
     /// Merges the current run into the group map.
-    fn flush(&mut self) {
+    fn flush(&mut self, ctx: &EvalCtx, sel: &CSelect) {
         if !self.active {
             return;
         }
@@ -2580,12 +2854,15 @@ impl RunSink {
             self.part
                 .groups
                 .insert(self.key.clone(), std::mem::take(&mut self.accs));
+            // A fresh partial group is retained state on this worker;
+            // failure is sticky and stops the worker's morsel loop.
+            let _ = ctx.charge_mem(group_mem_bytes(sel));
         }
         self.active = false;
     }
 
-    fn finish(mut self) -> GroupedPartial {
-        self.flush();
+    fn finish(mut self, ctx: &EvalCtx, sel: &CSelect) -> GroupedPartial {
+        self.flush(ctx, sel);
         self.part
     }
 }

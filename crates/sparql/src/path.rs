@@ -16,6 +16,23 @@ use rdf_model::TermId;
 
 use crate::plan::CPath;
 
+/// Resource hook threaded through closure-path search. Each newly visited
+/// search node reports here; returning `false` stops the expansion early
+/// (the caller's sticky exhaustion state surfaces the abort as an error).
+pub trait PathBudget {
+    /// Charges `nodes` newly visited search nodes. `true` = keep going.
+    fn path_nodes(&self, nodes: u64) -> bool;
+}
+
+/// A [`PathBudget`] that never stops the search.
+pub struct Unbounded;
+
+impl PathBudget for Unbounded {
+    fn path_nodes(&self, _nodes: u64) -> bool {
+        true
+    }
+}
+
 /// Evaluates a compiled path between optionally-bound endpoints, returning
 /// `(subject, object)` ID pairs.
 ///
@@ -31,27 +48,44 @@ pub fn eval_path_pairs(
     s: Option<u64>,
     o: Option<u64>,
 ) -> Vec<(u64, u64)> {
+    eval_path_pairs_with(view, path, graph, s, o, &Unbounded)
+}
+
+/// [`eval_path_pairs`] under a [`PathBudget`]: the search observes the
+/// memory budget and the periodic deadline/cancel check of the executor
+/// while it runs, instead of only after it returns.
+pub fn eval_path_pairs_with(
+    view: &DatasetView,
+    path: &CPath,
+    graph: GraphConstraint,
+    s: Option<u64>,
+    o: Option<u64>,
+    budget: &dyn PathBudget,
+) -> Vec<(u64, u64)> {
     match (s, o) {
         (Some(s), Some(o)) => {
-            if reaches(view, path, graph, s, o) {
+            if reaches(view, path, graph, s, o, budget) {
                 vec![(s, o)]
             } else {
                 Vec::new()
             }
         }
-        (Some(s), None) => forward(view, path, graph, s)
+        (Some(s), None) => forward_with(view, path, graph, s, budget)
             .into_iter()
             .map(|o| (s, o))
             .collect(),
-        (None, Some(o)) => backward(view, path, graph, o)
+        (None, Some(o)) => backward_with(view, path, graph, o, budget)
             .into_iter()
             .map(|s| (s, o))
             .collect(),
         (None, None) => {
             let mut out = Vec::new();
-            for start in candidate_starts(view, path, graph) {
-                for end in forward(view, path, graph, start) {
+            for start in candidate_starts(view, path, graph, budget) {
+                for end in forward_with(view, path, graph, start, budget) {
                     out.push((start, end));
+                }
+                if !budget.path_nodes(0) {
+                    break;
                 }
             }
             out
@@ -66,33 +100,52 @@ pub fn forward(
     graph: GraphConstraint,
     start: u64,
 ) -> Vec<u64> {
+    forward_with(view, path, graph, start, &Unbounded)
+}
+
+/// [`forward`] under a [`PathBudget`].
+pub fn forward_with(
+    view: &DatasetView,
+    path: &CPath,
+    graph: GraphConstraint,
+    start: u64,
+    budget: &dyn PathBudget,
+) -> Vec<u64> {
     match path {
         CPath::Iri(_, id) => match id {
             Some(pid) => scan_objects(view, graph, Some(start), pid.0),
             None => Vec::new(),
         },
-        CPath::Inverse(inner) => backward(view, inner, graph, start),
+        CPath::Inverse(inner) => backward_with(view, inner, graph, start, budget),
         CPath::Sequence(a, b) => {
             let mut out = HashSet::new();
-            for mid in forward(view, a, graph, start) {
-                for end in forward(view, b, graph, mid) {
-                    out.insert(end);
+            for mid in forward_with(view, a, graph, start, budget) {
+                for end in forward_with(view, b, graph, mid, budget) {
+                    if out.insert(end) && !budget.path_nodes(1) {
+                        return out.into_iter().collect();
+                    }
                 }
             }
             out.into_iter().collect()
         }
         CPath::Alternative(a, b) => {
-            let mut out: HashSet<u64> = forward(view, a, graph, start).into_iter().collect();
-            out.extend(forward(view, b, graph, start));
+            let mut out: HashSet<u64> =
+                forward_with(view, a, graph, start, budget).into_iter().collect();
+            out.extend(forward_with(view, b, graph, start, budget));
             out.into_iter().collect()
         }
         CPath::ZeroOrOne(inner) => {
-            let mut out: HashSet<u64> = forward(view, inner, graph, start).into_iter().collect();
+            let mut out: HashSet<u64> =
+                forward_with(view, inner, graph, start, budget).into_iter().collect();
             out.insert(start);
             out.into_iter().collect()
         }
-        CPath::ZeroOrMore(inner) => bfs(view, inner, graph, start, true, Direction::Forward),
-        CPath::OneOrMore(inner) => bfs(view, inner, graph, start, false, Direction::Forward),
+        CPath::ZeroOrMore(inner) => {
+            bfs(view, inner, graph, start, true, Direction::Forward, budget)
+        }
+        CPath::OneOrMore(inner) => {
+            bfs(view, inner, graph, start, false, Direction::Forward, budget)
+        }
     }
 }
 
@@ -103,33 +156,52 @@ pub fn backward(
     graph: GraphConstraint,
     end: u64,
 ) -> Vec<u64> {
+    backward_with(view, path, graph, end, &Unbounded)
+}
+
+/// [`backward`] under a [`PathBudget`].
+pub fn backward_with(
+    view: &DatasetView,
+    path: &CPath,
+    graph: GraphConstraint,
+    end: u64,
+    budget: &dyn PathBudget,
+) -> Vec<u64> {
     match path {
         CPath::Iri(_, id) => match id {
             Some(pid) => scan_subjects(view, graph, pid.0, Some(end)),
             None => Vec::new(),
         },
-        CPath::Inverse(inner) => forward(view, inner, graph, end),
+        CPath::Inverse(inner) => forward_with(view, inner, graph, end, budget),
         CPath::Sequence(a, b) => {
             let mut out = HashSet::new();
-            for mid in backward(view, b, graph, end) {
-                for s in backward(view, a, graph, mid) {
-                    out.insert(s);
+            for mid in backward_with(view, b, graph, end, budget) {
+                for s in backward_with(view, a, graph, mid, budget) {
+                    if out.insert(s) && !budget.path_nodes(1) {
+                        return out.into_iter().collect();
+                    }
                 }
             }
             out.into_iter().collect()
         }
         CPath::Alternative(a, b) => {
-            let mut out: HashSet<u64> = backward(view, a, graph, end).into_iter().collect();
-            out.extend(backward(view, b, graph, end));
+            let mut out: HashSet<u64> =
+                backward_with(view, a, graph, end, budget).into_iter().collect();
+            out.extend(backward_with(view, b, graph, end, budget));
             out.into_iter().collect()
         }
         CPath::ZeroOrOne(inner) => {
-            let mut out: HashSet<u64> = backward(view, inner, graph, end).into_iter().collect();
+            let mut out: HashSet<u64> =
+                backward_with(view, inner, graph, end, budget).into_iter().collect();
             out.insert(end);
             out.into_iter().collect()
         }
-        CPath::ZeroOrMore(inner) => bfs(view, inner, graph, end, true, Direction::Backward),
-        CPath::OneOrMore(inner) => bfs(view, inner, graph, end, false, Direction::Backward),
+        CPath::ZeroOrMore(inner) => {
+            bfs(view, inner, graph, end, true, Direction::Backward, budget)
+        }
+        CPath::OneOrMore(inner) => {
+            bfs(view, inner, graph, end, false, Direction::Backward, budget)
+        }
     }
 }
 
@@ -146,6 +218,7 @@ fn bfs(
     start: u64,
     include_start: bool,
     direction: Direction,
+    budget: &dyn PathBudget,
 ) -> Vec<u64> {
     let mut visited: HashSet<u64> = HashSet::new();
     let mut frontier: Vec<u64> = vec![start];
@@ -154,15 +227,23 @@ fn bfs(
         result.insert(start);
     }
     visited.insert(start);
+    if !budget.path_nodes(1) {
+        return result.into_iter().collect();
+    }
     while let Some(node) = frontier.pop() {
         let nexts = match direction {
-            Direction::Forward => forward(view, inner, graph, node),
-            Direction::Backward => backward(view, inner, graph, node),
+            Direction::Forward => forward_with(view, inner, graph, node, budget),
+            Direction::Backward => backward_with(view, inner, graph, node, budget),
         };
         for next in nexts {
             result.insert(next);
             if visited.insert(next) {
                 frontier.push(next);
+                // The frontier, visited, and result sets all retain this
+                // node; a failed charge drains the search immediately.
+                if !budget.path_nodes(1) {
+                    return result.into_iter().collect();
+                }
             }
         }
     }
@@ -175,8 +256,9 @@ fn reaches(
     graph: GraphConstraint,
     s: u64,
     o: u64,
+    budget: &dyn PathBudget,
 ) -> bool {
-    forward(view, path, graph, s).contains(&o)
+    forward_with(view, path, graph, s, budget).contains(&o)
 }
 
 fn scan_objects(
@@ -215,6 +297,7 @@ fn candidate_starts(
     view: &DatasetView,
     path: &CPath,
     graph: GraphConstraint,
+    budget: &dyn PathBudget,
 ) -> Vec<u64> {
     let mut preds = Vec::new();
     collect_predicates(path, &mut preds);
@@ -222,8 +305,12 @@ fn candidate_starts(
     for pid in preds {
         let pattern = QuadPattern { s: None, p: Some(TermId(pid)), o: None, g: graph };
         for quad in view.scan(pattern) {
-            nodes.insert(quad[quadstore::ids::S]);
-            nodes.insert(quad[quadstore::ids::O]);
+            let mut fresh = 0;
+            fresh += u64::from(nodes.insert(quad[quadstore::ids::S]));
+            fresh += u64::from(nodes.insert(quad[quadstore::ids::O]));
+            if fresh > 0 && !budget.path_nodes(fresh) {
+                return nodes.into_iter().collect();
+            }
         }
     }
     nodes.into_iter().collect()

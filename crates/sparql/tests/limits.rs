@@ -51,8 +51,8 @@ fn expired_deadline_aborts() {
     let store = dense_store(200);
     // A deadline in the past trips at the first stride check.
     let limits = ExecLimits {
-        max_rows: None,
         deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+        ..ExecLimits::default()
     };
     let result = query_with_limits(&store, "m", CROSS, limits);
     assert!(

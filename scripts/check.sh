@@ -28,3 +28,14 @@ cargo run --release -q --bin repro -- --scale 0.01
 # enabled must cost at most 5% more wall time than with them disabled
 # (best-of-5 alternating rounds; exits non-zero past the budget).
 cargo run --release -q --bin repro -- --scale 0.01 overhead
+
+# Resource-governor stress: bounded-time cancellation across thread
+# counts, memory-budget aborts, 16-client admission shedding, and the
+# fsync-storm read-only degradation + recovery path. Release mode so the
+# 50ms cancellation-latency bound holds on slow machines.
+cargo test --release -q --test resource_governor
+
+# Resource-governor overhead guard: the EQ1-EQ5 batch under full
+# governance (admission permit, cancel token, memory budget, deadline)
+# must cost at most 5% more wall time than ungoverned execution.
+cargo run --release -q --bin repro -- --scale 0.01 governor
