@@ -59,6 +59,7 @@ struct Args {
     timeout: Option<f64>,
     memory_limit: Option<u64>,
     max_concurrent: usize,
+    no_vectorize: bool,
     query: Option<String>,
 }
 
@@ -68,7 +69,7 @@ fn usage() -> ! {
          \x20          [--model ng|sp|rf] [--partitioned] [--json] [--explain]\n\
          \x20          [--profile] [--metrics]\n\
          \x20          [--timeout SECS] [--memory-limit BYTES[k|m|g]] [--max-concurrent N]\n\
-         \x20          [--workers N] [--replay FILE.rq] [--repeat N] [QUERY|-]"
+         \x20          [--no-vectorize] [--workers N] [--replay FILE.rq] [--repeat N] [QUERY|-]"
     );
     std::process::exit(2);
 }
@@ -123,7 +124,8 @@ fn exec_options(args: &Args) -> sparql::ExecOptions {
         limits.deadline = Some(Instant::now() + Duration::from_secs_f64(secs));
     }
     limits.max_memory = args.memory_limit;
-    let options = sparql::ExecOptions { limits, ..Default::default() };
+    let options = sparql::ExecOptions { limits, ..Default::default() }
+        .with_vectorize(!args.no_vectorize);
     match CANCEL.get() {
         Some(token) => options.with_cancel(token.clone()),
         None => options,
@@ -149,6 +151,7 @@ fn parse_args() -> Args {
         timeout: None,
         memory_limit: None,
         max_concurrent: 0,
+        no_vectorize: false,
         query: None,
     };
     let mut argv = std::env::args().skip(1);
@@ -193,6 +196,9 @@ fn parse_args() -> Args {
                 args.max_concurrent =
                     argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
+            // Force the row-at-a-time reference pipeline (the vectorized
+            // columnar pipeline is the default).
+            "--no-vectorize" => args.no_vectorize = true,
             "--help" | "-h" => usage(),
             q => args.query = Some(q.to_string()),
         }
@@ -316,7 +322,7 @@ fn main() {
     }
 
     if args.profile {
-        match store.select_profiled(&query) {
+        match store.select_profiled_in(&store.dataset_name(), &query, exec_options(&args)) {
             Ok((_sols, profile)) => {
                 println!("{}", profile.analyze);
                 println!("{}", profile.to_json());

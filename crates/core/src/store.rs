@@ -304,7 +304,8 @@ impl PgRdfStore {
         // The key folds in the dataset name *and* the physical index
         // signature: plans bake index choices into their access paths.
         let key = format!("{dataset}={}", view.index_signature());
-        let copts = sparql::CompileOptions::default();
+        let copts =
+            sparql::CompileOptions { vectorize: options.vectorize, ..Default::default() };
         let plan = self
             .plan_cache
             .get_or_compile(&key, text, copts, snapshot.epoch(), || {
@@ -389,7 +390,8 @@ impl PgRdfStore {
         let snapshot = self.store.snapshot();
         let view = snapshot.dataset(dataset)?;
         let key = format!("{dataset}={}", view.index_signature());
-        let copts = sparql::CompileOptions::default();
+        let copts =
+            sparql::CompileOptions { vectorize: options.vectorize, ..Default::default() };
         let compiled_fresh = std::cell::Cell::new(false);
         let compile_start = Instant::now();
         let plan = self

@@ -228,6 +228,27 @@ impl DatasetView {
         }
     }
 
+    /// Columnar variant of [`Self::scan_morsel_ordered`]: fills one ID
+    /// column per requested quad position (`positions[i]` → `cols[i]`)
+    /// and returns the match count. Quad order within the morsel is
+    /// identical to the row-wise scan, so chunked columnar scans preserve
+    /// the sequential row order morsel merging depends on.
+    pub fn scan_morsel_columns(
+        &self,
+        pattern: &QuadPattern,
+        morsel: &Morsel,
+        prefer: Option<usize>,
+        positions: &[usize],
+        cols: &mut [Vec<u64>],
+    ) -> usize {
+        let m = &self.members[morsel.member];
+        if morsel.delta {
+            m.scan_delta_columns(pattern, positions, cols)
+        } else {
+            m.scan_base_span_columns(pattern, morsel.lo, morsel.hi, prefer, positions, cols)
+        }
+    }
+
     /// Statistics-based per-probe fanout: the expected number of matches of
     /// `pattern` per distinct combination of the given quad positions
     /// (0=S, 1=P, 2=O, 3=G), from exact range cardinalities divided by

@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use crate::ids::{EncodedQuad, QuadPattern, G, O, P, S};
+use crate::ids::{EncodedQuad, GraphConstraint, QuadPattern, G, O, P, S};
 
 /// One of the four key components (the paper writes the object as `C`,
 /// for canonical object).
@@ -273,6 +273,75 @@ impl SortedIndex {
             .iter()
             .map(move |k| kind.quad_of(k))
             .filter(move |q| pattern.matches(q))
+    }
+
+    /// Columnar variant of [`Self::scan_span`]: fills one ID column per
+    /// requested quad position (`positions[i]` → `cols[i]`) instead of
+    /// yielding decoded quads. Returns the number of matching entries
+    /// (every column grows by exactly that many values).
+    ///
+    /// When the pattern needs no residual filtering — every bound
+    /// component is covered by the index prefix and the graph constraint
+    /// is not `AnyNamed` — the columns are copied straight out of the
+    /// sorted key runs without decoding quads at all, which is the
+    /// vectorized executor's hot path.
+    pub fn scan_span_columns(
+        &self,
+        pattern: &QuadPattern,
+        lo: usize,
+        hi: usize,
+        positions: &[usize],
+        cols: &mut [Vec<u64>],
+    ) -> usize {
+        debug_assert_eq!(positions.len(), cols.len());
+        let lo = lo.min(self.keys.len());
+        let hi = hi.min(self.keys.len()).max(lo);
+        if lo == hi {
+            return 0;
+        }
+        let n = self.kind.bound_prefix_len(pattern);
+        let mut residual = matches!(pattern.g, GraphConstraint::AnyNamed);
+        for i in n..4 {
+            if pattern.bound(self.kind.position_at(i)).is_some() {
+                residual = true;
+            }
+        }
+        // Key slot holding each quad position under this index's order.
+        let mut slot_of = [0usize; 4];
+        for (i, c) in self.kind.0.iter().enumerate() {
+            slot_of[c.quad_position()] = i;
+        }
+        if !residual {
+            for (col, &p) in cols.iter_mut().zip(positions) {
+                let s = slot_of[p];
+                col.extend(self.keys[lo..hi].iter().map(|k| k[s]));
+            }
+            return hi - lo;
+        }
+        let mut count = 0;
+        for k in &self.keys[lo..hi] {
+            let quad = self.kind.quad_of(k);
+            if !pattern.matches(&quad) {
+                continue;
+            }
+            for (col, &p) in cols.iter_mut().zip(positions) {
+                col.push(quad[p]);
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// Columnar full-pattern scan: [`Self::scan_span_columns`] over the
+    /// pattern's whole [`Self::pattern_span`].
+    pub fn scan_prefix_columns(
+        &self,
+        pattern: &QuadPattern,
+        positions: &[usize],
+        cols: &mut [Vec<u64>],
+    ) -> usize {
+        let (lo, hi) = self.pattern_span(pattern);
+        self.scan_span_columns(pattern, lo, hi, positions, cols)
     }
 
     /// Extracts the bound-prefix values of `pattern` under this index's

@@ -435,6 +435,52 @@ impl SemanticModel {
             .filter(move |q| pattern.matches(q))
     }
 
+    /// Columnar variant of [`Self::scan_base_span`]: fills one ID column
+    /// per requested quad position and returns the match count. When no
+    /// removed-quads overlay is pending the copy happens directly from the
+    /// sorted index runs ([`SortedIndex::scan_span_columns`]); otherwise
+    /// the overlay forces a row-wise decode.
+    pub fn scan_base_span_columns(
+        &self,
+        pattern: &QuadPattern,
+        lo: usize,
+        hi: usize,
+        prefer: Option<usize>,
+        positions: &[usize],
+        cols: &mut [Vec<u64>],
+    ) -> usize {
+        let idx = self.index_for(pattern, prefer);
+        if self.delta_removed.is_empty() {
+            return idx.scan_span_columns(pattern, lo, hi, positions, cols);
+        }
+        let mut count = 0;
+        for q in idx.scan_span(*pattern, lo, hi).filter(|q| !self.delta_removed.contains(q)) {
+            for (col, &p) in cols.iter_mut().zip(positions) {
+                col.push(q[p]);
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// Columnar variant of [`Self::scan_delta`]: row-wise over the (small,
+    /// unsorted) insert delta.
+    pub fn scan_delta_columns(
+        &self,
+        pattern: &QuadPattern,
+        positions: &[usize],
+        cols: &mut [Vec<u64>],
+    ) -> usize {
+        let mut count = 0;
+        for q in self.scan_delta(*pattern) {
+            for (col, &p) in cols.iter_mut().zip(positions) {
+                col.push(q[p]);
+            }
+            count += 1;
+        }
+        count
+    }
+
     /// True when the model has uncompacted inserted quads.
     pub fn has_delta_added(&self) -> bool {
         !self.delta_added.is_empty()

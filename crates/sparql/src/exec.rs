@@ -125,6 +125,11 @@ impl CancelToken {
 /// Default number of driving-scan rows per morsel.
 pub const DEFAULT_MORSEL_SIZE: usize = 2048;
 
+/// Default number of rows per column batch in the vectorized pipeline.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+pub(crate) mod batch;
+
 /// Execution tuning knobs: resource limits, worker threads, morsel size.
 ///
 /// `threads == 0` means "use [`std::thread::available_parallelism`]";
@@ -141,6 +146,13 @@ pub struct ExecOptions {
     pub morsel_size: usize,
     /// Cooperative cancellation token (`None` = not cancellable).
     pub cancel: Option<CancelToken>,
+    /// Use the vectorized columnar pipeline where the plan supports it
+    /// (default). `false` forces the row-at-a-time pipeline everywhere —
+    /// the reference oracle for the bit-identical-results guarantee.
+    pub vectorize: bool,
+    /// Rows per column batch in the vectorized pipeline (clamped to at
+    /// least 1).
+    pub batch_size: usize,
 }
 
 impl Default for ExecOptions {
@@ -150,6 +162,8 @@ impl Default for ExecOptions {
             threads: 0,
             morsel_size: DEFAULT_MORSEL_SIZE,
             cancel: None,
+            vectorize: true,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -158,6 +172,11 @@ impl ExecOptions {
     /// Options with an explicit worker thread count.
     pub fn threads(n: usize) -> ExecOptions {
         ExecOptions { threads: n, ..ExecOptions::default() }
+    }
+
+    /// Options with the vectorized pipeline switched on or off.
+    pub fn vectorize(on: bool) -> ExecOptions {
+        ExecOptions { vectorize: on, ..ExecOptions::default() }
     }
 
     /// Sets the worker thread count (0 = auto).
@@ -181,6 +200,18 @@ impl ExecOptions {
     /// Attaches a cancellation token.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Switches the vectorized pipeline on or off.
+    pub fn with_vectorize(mut self, on: bool) -> Self {
+        self.vectorize = on;
+        self
+    }
+
+    /// Sets the column batch size (clamped to at least 1).
+    pub fn with_batch_size(mut self, size: usize) -> Self {
+        self.batch_size = size.max(1);
         self
     }
 }
@@ -278,6 +309,11 @@ pub struct EvalCtx {
     cancel: Option<CancelToken>,
     threads: usize,
     morsel_size: usize,
+    /// Whether the vectorized columnar pipeline may be used where the
+    /// plan supports it.
+    vectorize: bool,
+    /// Rows per column batch in the vectorized pipeline.
+    batch_size: usize,
     charged: AtomicU64,
     next_deadline_check: AtomicU64,
     /// Phase ticks from rowless work (hash builds, aggregate finalization,
@@ -339,6 +375,8 @@ impl EvalCtx {
             cancel: None,
             threads: 1,
             morsel_size: DEFAULT_MORSEL_SIZE,
+            vectorize: true,
+            batch_size: DEFAULT_BATCH_SIZE,
             charged: AtomicU64::new(0),
             next_deadline_check: AtomicU64::new(DEADLINE_STRIDE),
             ticks: AtomicU64::new(0),
@@ -385,6 +423,8 @@ impl EvalCtx {
             options.threads
         };
         self.morsel_size = options.morsel_size.max(1);
+        self.vectorize = options.vectorize;
+        self.batch_size = options.batch_size.max(1);
         self
     }
 
@@ -475,6 +515,16 @@ impl EvalCtx {
             return false;
         }
         true
+    }
+
+    /// Returns `bytes` of previously charged intermediate state to the
+    /// memory budget — used by operators whose buffers are transient
+    /// (column batches are freed at morsel boundaries, unlike hash builds
+    /// that live for the whole query).
+    pub fn release_mem(&self, bytes: u64) {
+        if self.max_memory.is_some() {
+            self.mem_bytes.fetch_sub(bytes.min(self.mem_bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
+        }
     }
 
     fn exhaust(&self, reason: String) {
@@ -783,10 +833,31 @@ pub fn exec_select(ctx: &EvalCtx, sel: &CSelect) -> Result<Vec<Row>, SparqlError
         grouped_rows(ctx, sel)?
     } else {
         let mut rows: Vec<Row> = if ctx.threads > 1 {
-            par_produce(ctx, &sel.root)
+            par_produce(ctx, sel)
+        } else if let Some(rows) = batch::vec_produce(ctx, sel) {
+            rows
         } else {
+            // Streaming reference path. The result buffer is retained
+            // state like any other: charge it in chunks so a wide scan
+            // cannot silently exceed the memory budget between operators.
             let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
-            eval_node(ctx, &sel.root, input).collect()
+            let row_bytes = ctx.vars.len() as u64 * SLOT_BYTES + 32;
+            let mut rows: Vec<Row> = Vec::new();
+            let mut pending: u64 = 0;
+            for row in eval_node(ctx, &sel.root, input) {
+                rows.push(row);
+                pending += 1;
+                if pending >= MEM_CHARGE_CHUNK {
+                    if !ctx.charge_mem(pending * row_bytes) {
+                        break;
+                    }
+                    pending = 0;
+                }
+            }
+            if pending > 0 {
+                let _ = ctx.charge_mem(pending * row_bytes);
+            }
+            rows
         };
         // Compute expression projections per row.
         for proj in &sel.projection {
@@ -1009,7 +1080,12 @@ impl Acc {
 /// parallel fused-aggregation path, ordered parallel production feeding
 /// the sequential aggregation loop, and the legacy streaming path.
 fn grouped_rows(ctx: &EvalCtx, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
-    if ctx.threads > 1 {
+    // The fused path also serves sequential vectorized execution: at
+    // `threads == 1` the morsel loop runs on the calling thread and the
+    // vectorized pipeline accumulates groups straight from column
+    // batches. Profiled runs stay on the streaming path, whose per-step
+    // attribution is the reference.
+    if ctx.threads > 1 || (ctx.vectorize && ctx.profile.is_none()) {
         // Fused path: aggregate inside the morsel workers and merge
         // partial groups. Only when every aggregate merges losslessly.
         if let Some(partial) = par_grouped(ctx, sel) {
@@ -1020,8 +1096,10 @@ fn grouped_rows(ctx: &EvalCtx, sel: &CSelect) -> Result<Vec<Row>, SparqlError> {
         }
         // Ordered path: produce rows in exact sequential order (parallel
         // where the plan allows), then run the unchanged aggregation loop.
-        let rows = par_produce(ctx, &sel.root);
-        return group_and_aggregate(ctx, sel, Box::new(rows.into_iter()));
+        if ctx.threads > 1 || ctx.vectorize {
+            let rows = par_produce(ctx, sel);
+            return group_and_aggregate(ctx, sel, Box::new(rows.into_iter()));
+        }
     }
     let input: BoxIter = Box::new(std::iter::once(ctx.empty_row()));
     let solutions = eval_node(ctx, &sel.root, input);
@@ -1875,26 +1953,32 @@ fn drive_plan<'p>(ctx: &EvalCtx, node: &'p Node) -> Option<DrivePlan<'p>> {
 /// eligible (sub-)plans on the morsel-parallel executor. Root UNIONs are
 /// split: each branch is produced fully (parallel where possible) and the
 /// outputs concatenated, which is precisely the sequential order.
-fn par_produce(ctx: &EvalCtx, root: &Node) -> Vec<Row> {
-    par_produce_stages(ctx, root, &[])
+fn par_produce(ctx: &EvalCtx, sel: &CSelect) -> Vec<Row> {
+    let needed = batch::needed_slots(ctx, sel);
+    par_produce_stages(ctx, &sel.root, &[], &needed)
 }
 
-fn par_produce_stages<'p>(ctx: &EvalCtx, node: &'p Node, suffix: &[Stage<'p>]) -> Vec<Row> {
+fn par_produce_stages<'p>(
+    ctx: &EvalCtx,
+    node: &'p Node,
+    suffix: &[Stage<'p>],
+    needed: &[bool],
+) -> Vec<Row> {
     match node {
         Node::Union(a, b) => {
-            let mut out = par_produce_stages(ctx, a, suffix);
-            out.extend(par_produce_stages(ctx, b, suffix));
+            let mut out = par_produce_stages(ctx, a, suffix, needed);
+            out.extend(par_produce_stages(ctx, b, suffix, needed));
             out
         }
         Node::Filter(filters, inner) if root_union(inner) => {
             let mut with_filter: Vec<Stage<'p>> = vec![Stage::Filters(filters)];
             with_filter.extend_from_slice(suffix);
-            par_produce_stages(ctx, inner, &with_filter)
+            par_produce_stages(ctx, inner, &with_filter, needed)
         }
         _ => match drive_plan(ctx, node) {
             Some(mut plan) => {
                 plan.stages.extend_from_slice(suffix);
-                run_morsels(ctx, &plan)
+                run_morsels(ctx, &plan, needed)
             }
             None => {
                 // Not drivable: evaluate this branch sequentially (the
@@ -1912,23 +1996,34 @@ fn par_produce_stages<'p>(ctx: &EvalCtx, node: &'p Node, suffix: &[Stage<'p>]) -
 
 /// Runs one drive plan across all its morsels, merging worker outputs in
 /// morsel order.
-fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>) -> Vec<Row> {
+fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>, needed: &[bool]) -> Vec<Row> {
     let pattern = match probe_pattern(&plan.base, &plan.drive.triple) {
         Some(p) => p,
         None => return Vec::new(),
     };
-    let ops = build_walk_ops(ctx, plan);
+    let pipeline = if ctx.vectorize {
+        batch::VecPipeline::compile(ctx, plan, needed)
+    } else {
+        None
+    };
+    let ops = if pipeline.is_some() { None } else { build_walk_ops(ctx, plan) };
     let row_bytes = ctx.vars.len() as u64 * SLOT_BYTES + 32;
     let run_one = |morsel: &Morsel| -> Vec<Row> {
-        let out = match &ops {
-            Some(ops) => {
+        let out = match (&pipeline, &ops) {
+            (Some(pipe), _) => {
+                let mut out = Vec::new();
+                let mut st = batch::VecState::new(pipe);
+                pipe.run_morsel(ctx, &pattern, morsel, &mut st, &mut out);
+                out
+            }
+            (None, Some(ops)) => {
                 let mut out = Vec::new();
                 let mut st = WalkState::default();
                 let mut sink = |row: &Row| out.push(row.clone());
                 walk_morsel(ctx, plan, ops, pattern, morsel, &mut st, &mut sink);
                 out
             }
-            None => run_one_morsel(ctx, plan, pattern, morsel),
+            (None, None) => run_one_morsel(ctx, plan, pattern, morsel),
         };
         // The merged result set retains every morsel's output until the
         // final concatenation: one bulk memory charge per morsel.
@@ -2724,25 +2819,53 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
         }
         patterns.push(pattern);
     }
+    // Per-plan vectorized pipelines (compiled after the sort preference is
+    // fixed — the pipeline captures `prefer` for its driving scan). Plans
+    // the columnar compiler rejects fall back to the zero-alloc walk.
+    let needed = if ctx.vectorize { batch::needed_slots(ctx, sel) } else { Vec::new() };
+    let pipelines: Vec<Option<batch::VecPipeline<'_>>> = plans
+        .iter()
+        .map(|p| {
+            if ctx.vectorize {
+                batch::VecPipeline::compile(ctx, p, &needed)
+            } else {
+                None
+            }
+        })
+        .collect();
     // Per-plan walk programs: element-wise pipelines aggregate straight
     // out of the depth-first walk with zero row materialisation.
-    let walk_ops: Vec<Option<Vec<WalkOp<'_>>>> =
-        plans.iter().map(|p| build_walk_ops(ctx, p)).collect();
-    let run_task = |t: usize, sink: &mut RunSink, st: &mut WalkState| {
-        let (i, morsel) = &tasks[t];
-        let plan = &plans[*i];
-        let pattern = patterns[*i].expect("task implies pattern");
-        match &walk_ops[*i] {
-            Some(ops) => {
-                let mut feed = |row: &Row| sink.push(ctx, sel, &fast, row);
-                walk_morsel(ctx, plan, ops, pattern, morsel, st, &mut feed);
+    let walk_ops: Vec<Option<Vec<WalkOp<'_>>>> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| if pipelines[i].is_some() { None } else { build_walk_ops(ctx, p) })
+        .collect();
+    let run_task =
+        |t: usize, sink: &mut RunSink, st: &mut WalkState, vst: &mut [batch::VecState]| {
+            let (i, morsel) = &tasks[t];
+            let plan = &plans[*i];
+            let pattern = patterns[*i].expect("task implies pattern");
+            if let Some(pipe) = &pipelines[*i] {
+                pipe.run_morsel_grouped(ctx, sel, &fast, &pattern, morsel, &mut vst[*i], sink);
+                return;
             }
-            None => {
-                for row in run_one_morsel(ctx, plan, pattern, morsel) {
-                    sink.push(ctx, sel, &fast, &row);
+            match &walk_ops[*i] {
+                Some(ops) => {
+                    let mut feed = |row: &Row| sink.push(ctx, sel, &fast, row);
+                    walk_morsel(ctx, plan, ops, pattern, morsel, st, &mut feed);
+                }
+                None => {
+                    for row in run_one_morsel(ctx, plan, pattern, morsel) {
+                        sink.push(ctx, sel, &fast, &row);
+                    }
                 }
             }
-        }
+        };
+    let new_states = || -> Vec<batch::VecState> {
+        pipelines
+            .iter()
+            .map(|p| p.as_ref().map(batch::VecState::new).unwrap_or_default())
+            .collect()
     };
     let track = telemetry::enabled();
     let workers = ctx.threads.min(tasks.len()).max(1);
@@ -2750,13 +2873,14 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
     if workers <= 1 {
         let mut sink = RunSink::default();
         let mut st = WalkState::default();
+        let mut vst = new_states();
         let mut claimed = 0u64;
         for t in 0..tasks.len() {
             if ctx.is_exhausted() {
                 break;
             }
             claimed += 1;
-            run_task(t, &mut sink, &mut st);
+            run_task(t, &mut sink, &mut st, &mut vst);
         }
         if track {
             crate::metrics::morsels_claimed().add(claimed);
@@ -2771,6 +2895,7 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
                         let busy = track.then(|| crate::metrics::worker_busy_nanos().span());
                         let mut sink = RunSink::default();
                         let mut st = WalkState::default();
+                        let mut vst = new_states();
                         let mut claimed = 0u64;
                         loop {
                             let t = next.fetch_add(1, Ordering::Relaxed);
@@ -2778,7 +2903,7 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
                                 break;
                             }
                             claimed += 1;
-                            run_task(t, &mut sink, &mut st);
+                            run_task(t, &mut sink, &mut st, &mut vst);
                         }
                         if track {
                             crate::metrics::morsels_claimed().add(claimed);
@@ -2837,6 +2962,27 @@ impl RunSink {
                 }
                 (FastAgg::Generic, acc) => acc.update(ctx, agg, row),
                 _ => unreachable!("fast-agg/accumulator mismatch"),
+            }
+        }
+    }
+
+    /// The columnar fast path: consumes a pre-built group key and static
+    /// per-row increments (COUNT-family aggregates only — enforced by the
+    /// caller) without materialising a row.
+    fn push_counts(&mut self, ctx: &EvalCtx, sel: &CSelect, key: &[Option<u64>], incs: &[u64]) {
+        self.part.saw_rows = true;
+        if !self.active || key != self.key.as_slice() {
+            self.flush(ctx, sel);
+            self.key.clear();
+            self.key.extend_from_slice(key);
+            self.accs.clear();
+            self.accs.extend(sel.aggregates.iter().map(Acc::new));
+            self.active = true;
+        }
+        for (acc, inc) in self.accs.iter_mut().zip(incs) {
+            match acc {
+                Acc::CountAll(n) | Acc::Count(n) => *n += *inc,
+                _ => unreachable!("columnar counts over a non-count accumulator"),
             }
         }
     }

@@ -1,0 +1,1140 @@
+//! The vectorized columnar pipeline.
+//!
+//! A drive plan whose stages are all element-wise (steps and filters — no
+//! sibling Node stages) can run batch-at-a-time over *columns* of
+//! dictionary IDs instead of materialised `Row`s: the driving index scan
+//! fills one `Vec<u64>` per bound variable straight from the sorted key
+//! runs, each join step turns a batch into the next batch via a
+//! source-index vector (the columnar analogue of the row pipeline's
+//! extend-per-match loop), and filters emit selection vectors that are
+//! applied with a single gather per surviving column. Dictionary
+//! materialisation is deferred: only FILTER expressions that need term
+//! values (the scalar fallback) and final result emission touch the
+//! dictionary; everything else moves raw IDs.
+//!
+//! Liveness analysis prunes dead columns: a variable that no downstream
+//! operator and no output expression reads is never gathered (or even
+//! extracted from the index) past its last use. Output rows carry only
+//! the live slots — [`exec_select`](super::exec_select) narrows to the
+//! projected slots anyway, so results are bit-identical to the row
+//! pipeline's.
+//!
+//! Everything here mirrors the row pipeline's semantics *exactly*: the
+//! same probe patterns, the same charge totals against [`ExecLimits`],
+//! and the same per-step profile tallies (loops, rows) for EXPLAIN
+//! ANALYZE. Plans the compiler here cannot express (sibling nodes,
+//! repeated unbound variables inside one triple, computed IDs in the base
+//! row, statically unbound hash-join keys) fall back to the row pipeline
+//! by returning `None` from [`VecPipeline::compile`].
+
+use super::*;
+
+/// Per-slot static binding state during pipeline compilation.
+#[derive(Clone, Copy, PartialEq)]
+enum BindState {
+    /// Not bound by anything yet.
+    Unbound,
+    /// Bound to a constant by the base row (VALUES pin / pushdown).
+    Base(u64),
+    /// Bound by the driving scan or an upstream operator: has a column.
+    Col,
+}
+
+/// Where a probe position's constraint comes from, resolved per row.
+#[derive(Clone, Copy)]
+enum PosSpec {
+    /// Unconstrained (the operator binds it from the matched quad).
+    Any,
+    /// A constant (triple constant or base-row binding).
+    Const(u64),
+    /// The current value of a column.
+    Col(usize),
+}
+
+/// The graph constraint of a probe, resolved per row.
+#[derive(Clone, Copy)]
+enum GSpec {
+    Fixed(GraphConstraint),
+    /// A bound graph-variable column: `Named(col[i])`.
+    Col(usize),
+}
+
+/// A per-row probe pattern builder (mirrors [`probe_pattern`]).
+#[derive(Clone, Copy)]
+struct ProbeSpec {
+    s: PosSpec,
+    p: PosSpec,
+    o: PosSpec,
+    g: GSpec,
+}
+
+/// A per-row scalar source (hash keys, residual equality checks).
+#[derive(Clone, Copy)]
+enum ValSrc {
+    Const(u64),
+    Col(usize),
+}
+
+/// One compiled filter conjunct.
+enum FilterSpec<'p> {
+    /// Statically true (constant-folded against the base row).
+    True,
+    /// Statically false — kills the whole batch.
+    False,
+    /// `?v = <const>` over a column (the `SlotEqConst` fast path; column
+    /// IDs are store IDs, never computed, so the ID compare is exact).
+    ColEqConst { slot: usize, id: u64 },
+    /// `isIRI`/`isLiteral`/`isBlank` over a column.
+    ColKind { slot: usize, kind: TermKind },
+    /// Scalar fallback: fill a scratch row with the listed columns and
+    /// evaluate through the row pipeline's `RowEnv` (EXISTS and complex
+    /// expressions take this path, with identical semantics).
+    Generic { expr: &'p CExpr, col_slots: Vec<usize> },
+}
+
+/// One vectorized operator.
+enum VecOp<'p> {
+    /// Index nested-loop probe: per input row, probe the per-row pattern
+    /// and emit one output row per match (memoized on the pattern, which
+    /// repeats in long runs because the drive column is index-sorted).
+    Probe { step: &'p Step, spec: ProbeSpec, binds: Vec<(usize, usize)>, keep: Vec<usize> },
+    /// Pure existence/multiplicity check: every position statically
+    /// bound, so each input row is replicated `count_matches` times.
+    Count { step: &'p Step, spec: ProbeSpec, keep: Vec<usize> },
+    /// Hash-join probe against the shared build table.
+    Hash {
+        step: &'p Step,
+        cell: Arc<OnceLock<BuildTable>>,
+        key_srcs: Vec<ValSrc>,
+        /// Residual equality checks for positions the key does not cover
+        /// (mirrors `extend_row`'s consistency checks).
+        checks: Vec<(usize, ValSrc)>,
+        binds: Vec<(usize, usize)>,
+        keep: Vec<usize>,
+    },
+    /// A FILTER conjunction emitting a selection vector.
+    Filter { specs: Vec<FilterSpec<'p>>, keep: Vec<usize> },
+}
+
+impl VecOp<'_> {
+    fn step_key(&self) -> Option<usize> {
+        match self {
+            VecOp::Probe { step, .. } | VecOp::Count { step, .. } | VecOp::Hash { step, .. } => {
+                Some(*step as *const Step as usize)
+            }
+            VecOp::Filter { .. } => None,
+        }
+    }
+}
+
+/// A batch of column vectors, indexed by binding slot. Only live slots
+/// hold a column; every live column has exactly `len` values.
+struct Batch {
+    len: usize,
+    cols: Vec<Option<Vec<u64>>>,
+}
+
+impl Batch {
+    fn col(&self, slot: usize) -> &[u64] {
+        self.cols[slot].as_deref().expect("live column")
+    }
+}
+
+/// Per-op probe memoization: the driving column is index-sorted, so
+/// consecutive rows usually probe the same pattern. Persisted across
+/// batches and morsels (the store is immutable during a query).
+#[derive(Default)]
+struct OpMemo {
+    pattern: Option<QuadPattern>,
+    /// Matched quads' bind values, one vector per materialized bind.
+    vals: Vec<Vec<u64>>,
+    /// Match count (also used by Count ops, which materialise nothing).
+    count: usize,
+}
+
+/// Per-worker mutable pipeline state (memoization only; everything else
+/// lives on the stack of `run_morsel`).
+#[derive(Default)]
+pub(super) struct VecState {
+    memos: Vec<OpMemo>,
+}
+
+impl VecState {
+    pub(super) fn new(pipe: &VecPipeline<'_>) -> VecState {
+        let mut memos = Vec::with_capacity(pipe.ops.len());
+        for op in &pipe.ops {
+            let nvals = match op {
+                VecOp::Probe { binds, .. } | VecOp::Hash { binds, .. } => binds.len(),
+                _ => 0,
+            };
+            memos.push(OpMemo { pattern: None, vals: vec![Vec::new(); nvals], count: 0 });
+        }
+        VecState { memos }
+    }
+}
+
+/// A compiled vectorized pipeline for one drive plan.
+pub(super) struct VecPipeline<'p> {
+    drive: &'p Step,
+    prefer: Option<usize>,
+    base: Row,
+    /// Quad positions the driving scan extracts (parallel to
+    /// `drive_slots`), pruned to live slots.
+    positions: Vec<usize>,
+    drive_slots: Vec<usize>,
+    ops: Vec<VecOp<'p>>,
+    /// Column slots present after the last operator.
+    final_cols: Vec<usize>,
+    /// Output row template: base constants at needed slots, `None`
+    /// elsewhere.
+    template: Row,
+}
+
+/// The slots the rest of [`exec_select`] reads from produced rows:
+/// projected slots, projection/ORDER BY/HAVING expression inputs, GROUP
+/// BY keys, and aggregate expression inputs. An EXISTS reference anywhere
+/// makes every slot needed (its inner pattern may read any of them).
+pub(super) fn needed_slots(ctx: &EvalCtx, sel: &CSelect) -> Vec<bool> {
+    let mut need = vec![false; ctx.vars.len()];
+    let mut slots: Vec<usize> = Vec::new();
+    let mut exists = false;
+    for &s in &sel.projected_slots() {
+        need[s] = true;
+    }
+    for proj in &sel.projection {
+        need[proj.slot] = true;
+        if let Some(expr) = &proj.expr {
+            exists |= expr.collect_slots(&mut slots);
+        }
+    }
+    for (expr, _) in &sel.order_by {
+        exists |= expr.collect_slots(&mut slots);
+    }
+    for h in &sel.having {
+        exists |= h.collect_slots(&mut slots);
+    }
+    for &s in &sel.group_slots {
+        need[s] = true;
+    }
+    for agg in &sel.aggregates {
+        match agg {
+            CAggregate::CountAll => {}
+            CAggregate::Count { expr, .. }
+            | CAggregate::Sum(expr)
+            | CAggregate::Avg(expr)
+            | CAggregate::Min(expr)
+            | CAggregate::Max(expr) => exists |= expr.collect_slots(&mut slots),
+        }
+    }
+    if exists {
+        need.iter_mut().for_each(|b| *b = true);
+    } else {
+        for s in slots {
+            need[s] = true;
+        }
+    }
+    need
+}
+
+impl<'p> VecPipeline<'p> {
+    /// Compiles a drive plan into a vectorized pipeline, or `None` when a
+    /// construct forces the row pipeline.
+    pub(super) fn compile(
+        ctx: &EvalCtx,
+        plan: &DrivePlan<'p>,
+        needed: &[bool],
+    ) -> Option<VecPipeline<'p>> {
+        let nvars = ctx.vars.len();
+        debug_assert_eq!(needed.len(), nvars);
+        // Computed IDs in the base row take per-row code paths
+        // (probe_pattern bailouts, hash-join skips) that the columnar
+        // compiler does not model.
+        if plan.base.iter().flatten().any(|id| id & COMPUTED_BIT != 0) {
+            return None;
+        }
+        let mut bind: Vec<BindState> = plan
+            .base
+            .iter()
+            .map(|v| match v {
+                Some(id) => BindState::Base(*id),
+                None => BindState::Unbound,
+            })
+            .collect();
+
+        // The driving scan binds its triple's free variable positions.
+        let drive_binds_all = triple_binds(&plan.drive.triple, &mut bind)?;
+
+        // Pass 1: draft every operator, tracking reads and binds.
+        struct Draft<'p> {
+            op: VecOp<'p>,
+            reads: Vec<usize>,
+            binds_all: Vec<(usize, usize)>,
+        }
+        let mut drafts: Vec<Draft<'p>> = Vec::new();
+        let mut any_exists = false;
+        for stage in &plan.stages {
+            match stage {
+                Stage::Node(_) => return None,
+                Stage::Steps(steps) => {
+                    for step in *steps {
+                        let draft = match &step.strategy {
+                            Strategy::IndexNlj => {
+                                let (spec, reads) = probe_spec(&step.triple, &bind)?;
+                                let binds_all = triple_binds(&step.triple, &mut bind)?;
+                                if binds_all.is_empty() {
+                                    Draft {
+                                        op: VecOp::Count { step, spec, keep: Vec::new() },
+                                        reads,
+                                        binds_all,
+                                    }
+                                } else {
+                                    Draft {
+                                        op: VecOp::Probe {
+                                            step,
+                                            spec,
+                                            binds: Vec::new(),
+                                            keep: Vec::new(),
+                                        },
+                                        reads,
+                                        binds_all,
+                                    }
+                                }
+                            }
+                            Strategy::HashJoin { join_slots } => {
+                                // A statically unbound or repeated key slot
+                                // takes the streaming per-row fallback.
+                                if join_slots.iter().any(|&s| bind[s] == BindState::Unbound) {
+                                    return None;
+                                }
+                                let mut reads = Vec::new();
+                                let key_srcs: Vec<ValSrc> = join_slots
+                                    .iter()
+                                    .map(|&s| val_src(s, &bind, &mut reads))
+                                    .collect();
+                                let key_pos = key_positions(&step.triple, join_slots);
+                                let checks = hash_checks(
+                                    &step.triple,
+                                    join_slots,
+                                    &key_pos,
+                                    &bind,
+                                    &mut reads,
+                                );
+                                let binds_all = triple_binds(&step.triple, &mut bind)?;
+                                Draft {
+                                    op: VecOp::Hash {
+                                        step,
+                                        cell: ctx.build_cell(step),
+                                        key_srcs,
+                                        checks,
+                                        binds: Vec::new(),
+                                        keep: Vec::new(),
+                                    },
+                                    reads,
+                                    binds_all,
+                                }
+                            }
+                        };
+                        drafts.push(draft);
+                    }
+                }
+                Stage::Filters(filters) => {
+                    let mut reads = Vec::new();
+                    let mut specs = Vec::with_capacity(filters.len());
+                    for f in filters.iter() {
+                        let (spec, exists) = filter_spec(ctx, f, &plan.base, &bind, &mut reads);
+                        any_exists |= exists;
+                        specs.push(spec);
+                    }
+                    drafts.push(Draft {
+                        op: VecOp::Filter { specs, keep: Vec::new() },
+                        reads,
+                        binds_all: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        // An EXISTS inside a filter may read any slot through its inner
+        // pattern: keep everything alive.
+        let mut final_need: Vec<bool> = needed.to_vec();
+        if any_exists {
+            final_need.iter_mut().for_each(|b| *b = true);
+            for d in &mut drafts {
+                if let VecOp::Filter { specs, .. } = &mut d.op {
+                    for s in specs.iter_mut() {
+                        if let FilterSpec::Generic { col_slots, .. } = s {
+                            // Fill every column that exists at this point;
+                            // computed below once liveness is known.
+                            col_slots.clear();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: backward liveness. need_from[k] = slots read by op k or
+        // any later op, or needed by the output — minus slots op k binds
+        // (they do not exist upstream of k).
+        let nops = drafts.len();
+        let mut need_from: Vec<Vec<bool>> = vec![vec![false; nvars]; nops + 1];
+        need_from[nops].clone_from(&final_need);
+        for k in (0..nops).rev() {
+            let mut cur = need_from[k + 1].clone();
+            for &(_, slot) in &drafts[k].binds_all {
+                cur[slot] = false;
+            }
+            for &s in &drafts[k].reads {
+                cur[s] = true;
+            }
+            need_from[k] = cur;
+        }
+
+        // Pass 3: forward presence; prune drive columns, per-op binds and
+        // keep lists to live slots.
+        let mut present = vec![false; nvars];
+        let mut positions = Vec::new();
+        let mut drive_slots = Vec::new();
+        for &(pos, slot) in &drive_binds_all {
+            present[slot] = true;
+            if need_from[0][slot] {
+                positions.push(pos);
+                drive_slots.push(slot);
+            }
+        }
+        let mut live: Vec<bool> = (0..nvars).map(|s| present[s] && need_from[0][s]).collect();
+        let mut ops: Vec<VecOp<'p>> = Vec::with_capacity(nops);
+        for (k, draft) in drafts.into_iter().enumerate() {
+            let Draft { mut op, binds_all, .. } = draft;
+            let keep_list: Vec<usize> =
+                (0..nvars).filter(|&s| live[s] && need_from[k + 1][s]).collect();
+            for &(_, slot) in &binds_all {
+                present[slot] = true;
+            }
+            let bind_list: Vec<(usize, usize)> = binds_all
+                .iter()
+                .copied()
+                .filter(|&(_, slot)| need_from[k + 1][slot])
+                .collect();
+            match &mut op {
+                VecOp::Probe { binds, keep, .. } | VecOp::Hash { binds, keep, .. } => {
+                    *binds = bind_list.clone();
+                    *keep = keep_list.clone();
+                }
+                VecOp::Count { keep, .. } | VecOp::Filter { keep, .. } => {
+                    *keep = keep_list.clone();
+                }
+            }
+            if any_exists {
+                if let VecOp::Filter { specs, .. } = &mut op {
+                    for s in specs.iter_mut() {
+                        if let FilterSpec::Generic { col_slots, .. } = s {
+                            if col_slots.is_empty() {
+                                // Entering columns of this op: everything
+                                // live before the filter runs.
+                                *col_slots = (0..nvars)
+                                    .filter(|&s| live[s] && need_from[k][s])
+                                    .collect();
+                            }
+                        }
+                    }
+                }
+            }
+            live = vec![false; nvars];
+            for &s in &keep_list {
+                live[s] = true;
+            }
+            for &(_, s) in &bind_list {
+                live[s] = true;
+            }
+            ops.push(op);
+        }
+        let final_cols: Vec<usize> = (0..nvars).filter(|&s| live[s]).collect();
+
+        let mut template = vec![None; nvars];
+        for (slot, v) in plan.base.iter().enumerate() {
+            if final_need[slot] {
+                template[slot] = *v;
+            }
+        }
+
+        Some(VecPipeline {
+            drive: plan.drive,
+            prefer: plan.prefer,
+            base: plan.base.clone(),
+            positions,
+            drive_slots,
+            ops,
+            final_cols,
+            template,
+        })
+    }
+
+    /// Runs the whole pipeline sequentially (the `threads == 1` entry
+    /// point): every morsel in order, rows appended to `out`. Profile
+    /// tallies mirror the streaming pipeline's exactly.
+    pub(super) fn run_sequential(&self, ctx: &EvalCtx, out: &mut Vec<Row>) {
+        let drive_key = self.drive as *const Step as usize;
+        if let Some(p) = &ctx.profile {
+            // The streaming pipeline wraps every step eagerly, creating a
+            // (possibly zero) tally even for steps never reached; its
+            // driving step consumes exactly one seed row.
+            p.add(drive_key, 0, 1, 0);
+            for op in &self.ops {
+                if let Some(key) = op.step_key() {
+                    p.add(key, 0, 0, 0);
+                }
+            }
+        }
+        let Some(pattern) = probe_pattern(&self.base, &self.drive.triple) else {
+            return;
+        };
+        let morsels = ctx.view.plan_morsels(&pattern, ctx.morsel_size);
+        let row_bytes = ctx.vars.len() as u64 * SLOT_BYTES + 32;
+        let mut st = VecState::new(self);
+        let mut claimed = 0u64;
+        for morsel in &morsels {
+            if ctx.is_exhausted() {
+                break;
+            }
+            claimed += 1;
+            let before = out.len();
+            self.run_morsel(ctx, &pattern, morsel, &mut st, out);
+            let produced = (out.len() - before) as u64;
+            if produced > 0 {
+                let _ = ctx.charge_mem(produced * row_bytes);
+            }
+        }
+        if telemetry::enabled() {
+            crate::metrics::morsels_claimed().add(claimed);
+        }
+    }
+
+    /// Runs one morsel through the pipeline, materialising finished rows
+    /// into `out` (template + live columns only).
+    pub(super) fn run_morsel(
+        &self,
+        ctx: &EvalCtx,
+        pattern: &QuadPattern,
+        morsel: &Morsel,
+        st: &mut VecState,
+        out: &mut Vec<Row>,
+    ) {
+        self.for_each_batch(ctx, pattern, morsel, st, &mut |batch: &Batch| {
+            out.reserve(batch.len);
+            for i in 0..batch.len {
+                let mut row = self.template.clone();
+                for &s in &self.final_cols {
+                    row[s] = Some(batch.col(s)[i]);
+                }
+                out.push(row);
+            }
+        });
+    }
+
+    /// Runs one morsel and feeds finished batches to `sink`. Handles the
+    /// drive scan, chunking into `ctx.batch_size` batches, charging (row
+    /// totals identical to the row pipeline; column buffers charged
+    /// against the memory budget and released at morsel end), profiling
+    /// and telemetry.
+    fn for_each_batch(
+        &self,
+        ctx: &EvalCtx,
+        pattern: &QuadPattern,
+        morsel: &Morsel,
+        st: &mut VecState,
+        sink: &mut dyn FnMut(&Batch),
+    ) {
+        let track = telemetry::enabled();
+        let profile = ctx.profile.clone();
+        let nvars = ctx.vars.len();
+        let mut charged_bytes: u64 = 0;
+
+        // 1. Drive scan → columns.
+        let t0 = profile.as_ref().map(|_| Instant::now());
+        let mut dcols: Vec<Vec<u64>> = vec![Vec::new(); self.positions.len()];
+        let n = ctx.view.scan_morsel_columns(pattern, morsel, self.prefer, &self.positions, &mut dcols);
+        if let (Some(p), Some(t0)) = (&profile, t0) {
+            p.add(
+                self.drive as *const Step as usize,
+                n as u64,
+                0,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        if n == 0 {
+            return;
+        }
+        if !ctx.charge(n as u64) {
+            return;
+        }
+        charged_bytes += (n * self.positions.len() * 8) as u64;
+        let _ = ctx.charge_mem((n * self.positions.len() * 8) as u64);
+        if track {
+            crate::metrics::vec_batches_emitted().inc();
+            crate::metrics::vec_rows_emitted().add(n as u64);
+        }
+
+        // 2. Chunk into batches and run the operator chain.
+        let bsz = ctx.batch_size.max(1);
+        let mut start = 0usize;
+        while start < n {
+            if ctx.is_exhausted() {
+                break;
+            }
+            let end = (start + bsz).min(n);
+            let mut batch = Batch { len: end - start, cols: vec![None; nvars] };
+            for (ci, &slot) in self.drive_slots.iter().enumerate() {
+                batch.cols[slot] = Some(dcols[ci][start..end].to_vec());
+            }
+            let mut cur = Some(batch);
+            for (k, op) in self.ops.iter().enumerate() {
+                let b = cur.take().expect("batch alive inside chain");
+                if b.len == 0 || ctx.is_exhausted() {
+                    break;
+                }
+                let t0 = profile.as_ref().map(|_| Instant::now());
+                let in_len = b.len;
+                let Some(next) = self.run_op(ctx, op, &mut st.memos[k], b, &mut charged_bytes)
+                else {
+                    break;
+                };
+                if let (Some(p), Some(t0), Some(key)) = (&profile, t0, op.step_key()) {
+                    p.add(key, next.len as u64, in_len as u64, t0.elapsed().as_nanos() as u64);
+                }
+                if track && !matches!(op, VecOp::Filter { .. }) {
+                    crate::metrics::vec_batches_emitted().inc();
+                    crate::metrics::vec_rows_emitted().add(next.len as u64);
+                }
+                cur = Some(next);
+            }
+            if let Some(b) = cur {
+                if b.len > 0 {
+                    sink(&b);
+                }
+            }
+            start = end;
+        }
+        ctx.release_mem(charged_bytes);
+    }
+
+    /// Applies one operator to a batch. `None` means a resource limit
+    /// fired mid-operator (the charge totals match the row pipeline).
+    fn run_op(
+        &self,
+        ctx: &EvalCtx,
+        op: &VecOp<'p>,
+        memo: &mut OpMemo,
+        batch: Batch,
+        charged_bytes: &mut u64,
+    ) -> Option<Batch> {
+        let nvars = batch.cols.len();
+        match op {
+            VecOp::Count { spec, keep, .. } => {
+                let row_bytes = keep.len() as u64 * 8;
+                let mut charged_rows = 0usize;
+                let mut src: Vec<u32> = Vec::new();
+                for i in 0..batch.len {
+                    let pat = spec.pattern(&batch, i);
+                    if memo.pattern != Some(pat) {
+                        memo.count = ctx.view.count_matches(&pat);
+                        memo.pattern = Some(pat);
+                    }
+                    if memo.count > 0 {
+                        src.extend(std::iter::repeat(i as u32).take(memo.count));
+                        if !settle(ctx, row_bytes, &mut charged_rows, charged_bytes, src.len(), false) {
+                            return None;
+                        }
+                    }
+                }
+                if !settle(ctx, row_bytes, &mut charged_rows, charged_bytes, src.len(), true) {
+                    return None;
+                }
+                Some(gather_batch(&batch, &src, keep, &[], Vec::new(), nvars))
+            }
+            VecOp::Probe { spec, binds, keep, .. } => {
+                let row_bytes = (keep.len() + binds.len()) as u64 * 8;
+                let mut charged_rows = 0usize;
+                let mut src: Vec<u32> = Vec::new();
+                let mut fresh: Vec<Vec<u64>> = vec![Vec::new(); binds.len()];
+                for i in 0..batch.len {
+                    let pat = spec.pattern(&batch, i);
+                    if memo.pattern != Some(pat) {
+                        for v in memo.vals.iter_mut() {
+                            v.clear();
+                        }
+                        memo.count = 0;
+                        for quad in ctx.view.probe(pat) {
+                            for (bi, &(pos, _)) in binds.iter().enumerate() {
+                                memo.vals[bi].push(quad[pos]);
+                            }
+                            memo.count += 1;
+                        }
+                        memo.pattern = Some(pat);
+                    }
+                    if memo.count > 0 {
+                        src.extend(std::iter::repeat(i as u32).take(memo.count));
+                        for (bi, vals) in memo.vals.iter().enumerate() {
+                            fresh[bi].extend_from_slice(vals);
+                        }
+                        if !settle(ctx, row_bytes, &mut charged_rows, charged_bytes, src.len(), false) {
+                            return None;
+                        }
+                    }
+                }
+                if !settle(ctx, row_bytes, &mut charged_rows, charged_bytes, src.len(), true) {
+                    return None;
+                }
+                Some(gather_batch(&batch, &src, keep, binds, fresh, nvars))
+            }
+            VecOp::Hash { cell, key_srcs, checks, binds, keep, step } => {
+                let table =
+                    cell.get_or_init(|| build_table(ctx, step, hash_join_slots(step)));
+                let row_bytes = (keep.len() + binds.len()) as u64 * 8;
+                let mut charged_rows = 0usize;
+                let mut src: Vec<u32> = Vec::new();
+                let mut fresh: Vec<Vec<u64>> = vec![Vec::new(); binds.len()];
+                let mut key = vec![0u64; key_srcs.len()];
+                for i in 0..batch.len {
+                    for (dst, ks) in key.iter_mut().zip(key_srcs) {
+                        *dst = ks.value(&batch, i);
+                    }
+                    let Some(quads) = table.get(key.as_slice()) else { continue };
+                    for quad in quads {
+                        if checks.iter().any(|(pos, vs)| quad[*pos] != vs.value(&batch, i)) {
+                            continue;
+                        }
+                        src.push(i as u32);
+                        for (bi, &(pos, _)) in binds.iter().enumerate() {
+                            fresh[bi].push(quad[pos]);
+                        }
+                    }
+                    if !settle(ctx, row_bytes, &mut charged_rows, charged_bytes, src.len(), false) {
+                        return None;
+                    }
+                }
+                if !settle(ctx, row_bytes, &mut charged_rows, charged_bytes, src.len(), true) {
+                    return None;
+                }
+                Some(gather_batch(&batch, &src, keep, binds, fresh, nvars))
+            }
+            VecOp::Filter { specs, keep, .. } => {
+                let in_len = batch.len;
+                let mut sel: Vec<u32> = Vec::with_capacity(batch.len);
+                let mut scratch: Option<Row> = None;
+                'rows: for i in 0..batch.len {
+                    // Filters produce no rows, so they observe deadlines and
+                    // cancellation through the rowless tick, one per stride.
+                    if i % 1024 == 1023 && !ctx.tick(1024) {
+                        return None;
+                    }
+                    for spec in specs {
+                        let pass = match spec {
+                            FilterSpec::True => true,
+                            FilterSpec::False => false,
+                            FilterSpec::ColEqConst { slot, id } => batch.col(*slot)[i] == *id,
+                            FilterSpec::ColKind { slot, kind } => {
+                                ctx.kind(batch.col(*slot)[i]) == Some(*kind)
+                            }
+                            FilterSpec::Generic { expr, col_slots } => {
+                                let row = scratch.get_or_insert_with(|| self.base.clone());
+                                for &s in col_slots {
+                                    row[s] = Some(batch.col(s)[i]);
+                                }
+                                let env = RowEnv { ctx, row, aggs: None };
+                                expr.eval_filter(&env)
+                            }
+                        };
+                        if !pass {
+                            continue 'rows;
+                        }
+                    }
+                    sel.push(i as u32);
+                }
+                if telemetry::enabled() && in_len > 0 {
+                    crate::metrics::vec_filter_selectivity()
+                        .record((sel.len() * 100 / in_len) as u64);
+                }
+                if sel.len() == in_len {
+                    // Everything survived: reuse the batch as-is (dropping
+                    // columns that die here).
+                    let mut cols = batch.cols;
+                    let mut kept: Vec<Option<Vec<u64>>> = vec![None; nvars];
+                    for &s in keep {
+                        kept[s] = cols[s].take();
+                    }
+                    return Some(Batch { len: in_len, cols: kept });
+                }
+                let bytes = (sel.len() * keep.len() * 8) as u64;
+                if bytes > 0 {
+                    *charged_bytes += bytes;
+                    if !ctx.charge_mem(bytes) {
+                        return None;
+                    }
+                }
+                Some(gather_batch(&batch, &sel, keep, &[], Vec::new(), nvars))
+            }
+        }
+    }
+
+    /// Runs one morsel in grouped mode: surviving batches feed the
+    /// run-length group accumulator directly, without materialising rows
+    /// when every aggregate is a plain count.
+    pub(super) fn run_morsel_grouped(
+        &self,
+        ctx: &EvalCtx,
+        sel: &CSelect,
+        fast: &[FastAgg],
+        pattern: &QuadPattern,
+        morsel: &Morsel,
+        st: &mut VecState,
+        sink: &mut RunSink,
+    ) {
+        // Static per-row increments: a counted slot that is a live column
+        // is always bound; one bound from the base row always counts; an
+        // unbound one never does.
+        let col_is_live = |s: usize| self.final_cols.contains(&s);
+        let columnar = fast.iter().all(|f| !matches!(f, FastAgg::Generic));
+        if columnar {
+            let incs: Vec<u64> = fast
+                .iter()
+                .map(|f| match f {
+                    FastAgg::CountAll => 1,
+                    FastAgg::CountSlot(s) => {
+                        u64::from(col_is_live(*s) || self.base[*s].is_some())
+                    }
+                    FastAgg::Generic => unreachable!("checked above"),
+                })
+                .collect();
+            enum KeySrc {
+                Col(usize),
+                Fixed(Option<u64>),
+            }
+            let key_srcs: Vec<KeySrc> = sel
+                .group_slots
+                .iter()
+                .map(|&s| if col_is_live(s) { KeySrc::Col(s) } else { KeySrc::Fixed(self.base[s]) })
+                .collect();
+            let mut key: Vec<Option<u64>> = vec![None; key_srcs.len()];
+            self.for_each_batch(ctx, pattern, morsel, st, &mut |batch: &Batch| {
+                for i in 0..batch.len {
+                    for (dst, ks) in key.iter_mut().zip(&key_srcs) {
+                        *dst = match ks {
+                            KeySrc::Col(s) => Some(batch.col(*s)[i]),
+                            KeySrc::Fixed(v) => *v,
+                        };
+                    }
+                    sink.push_counts(ctx, sel, &key, &incs);
+                }
+            });
+            return;
+        }
+        // Generic aggregates evaluate expressions per row: materialise
+        // (live slots only — aggregate inputs are in the needed set).
+        self.for_each_batch(ctx, pattern, morsel, st, &mut |batch: &Batch| {
+            let mut row = self.template.clone();
+            for i in 0..batch.len {
+                for &s in &self.final_cols {
+                    row[s] = Some(batch.col(s)[i]);
+                }
+                sink.push(ctx, sel, fast, &row);
+            }
+        });
+    }
+}
+
+/// Charges newly produced operator output — rows against the row budget
+/// (which also polls the deadline and the cancel token every
+/// [`DEADLINE_STRIDE`] rows) and output-column bytes against the memory
+/// budget — in [`MEM_CHARGE_CHUNK`]-row chunks, so limits land with the
+/// streaming pipeline's stride even inside one wide batch. `false` means
+/// a limit fired (sticky; the caller abandons the batch).
+fn settle(
+    ctx: &EvalCtx,
+    row_bytes: u64,
+    charged_rows: &mut usize,
+    charged_bytes: &mut u64,
+    produced: usize,
+    force: bool,
+) -> bool {
+    let pending = (produced - *charged_rows) as u64;
+    if pending == 0 || (!force && pending < MEM_CHARGE_CHUNK) {
+        return true;
+    }
+    *charged_rows = produced;
+    if !ctx.charge(pending) {
+        return false;
+    }
+    let bytes = pending * row_bytes;
+    if bytes > 0 {
+        *charged_bytes += bytes;
+        if !ctx.charge_mem(bytes) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Gathers `keep` columns of `batch` through the source-index vector and
+/// installs freshly built bind columns (the buffers were already charged
+/// by [`settle`] as they grew).
+fn gather_batch(
+    batch: &Batch,
+    src: &[u32],
+    keep: &[usize],
+    binds: &[(usize, usize)],
+    fresh: Vec<Vec<u64>>,
+    nvars: usize,
+) -> Batch {
+    let mut cols: Vec<Option<Vec<u64>>> = vec![None; nvars];
+    for &s in keep {
+        let old = batch.col(s);
+        let mut newc = Vec::with_capacity(src.len());
+        for &i in src {
+            newc.push(old[i as usize]);
+        }
+        cols[s] = Some(newc);
+    }
+    for ((_, slot), vals) in binds.iter().zip(fresh) {
+        debug_assert_eq!(vals.len(), src.len());
+        cols[*slot] = Some(vals);
+    }
+    Batch { len: src.len(), cols }
+}
+
+impl ProbeSpec {
+    /// The per-row probe pattern (mirrors [`probe_pattern`] over a row
+    /// whose bound slots come from columns and base constants).
+    fn pattern(&self, batch: &Batch, i: usize) -> QuadPattern {
+        let get = |ps: &PosSpec| match ps {
+            PosSpec::Any => None,
+            PosSpec::Const(id) => Some(TermId(*id)),
+            PosSpec::Col(s) => Some(TermId(batch.col(*s)[i])),
+        };
+        QuadPattern {
+            s: get(&self.s),
+            p: get(&self.p),
+            o: get(&self.o),
+            g: match &self.g {
+                GSpec::Fixed(g) => *g,
+                GSpec::Col(s) => GraphConstraint::Named(TermId(batch.col(*s)[i])),
+            },
+        }
+    }
+}
+
+impl ValSrc {
+    fn value(&self, batch: &Batch, i: usize) -> u64 {
+        match self {
+            ValSrc::Const(id) => *id,
+            ValSrc::Col(s) => batch.col(*s)[i],
+        }
+    }
+}
+
+/// The free variable positions a triple binds, updating the bind states.
+/// `None` when the triple repeats an unbound variable (the row pipeline's
+/// per-quad consistency checks have no columnar equivalent here) or pins
+/// a constant absent from the store (per-row probes would all be empty;
+/// rare enough to leave to the row pipeline).
+fn triple_binds(triple: &CTriple, bind: &mut [BindState]) -> Option<Vec<(usize, usize)>> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    let mut visit = |pos: usize, cpos: &CPos| -> Option<()> {
+        match cpos {
+            CPos::Var(slot) => {
+                if bind[*slot] == BindState::Unbound {
+                    if out.iter().any(|&(_, s)| s == *slot) {
+                        return None;
+                    }
+                    out.push((pos, *slot));
+                }
+                Some(())
+            }
+            CPos::Const(_, Some(_)) => Some(()),
+            CPos::Const(_, None) => None,
+        }
+    };
+    visit(quadstore::ids::S, &triple.s)?;
+    visit(quadstore::ids::P, &triple.p)?;
+    visit(quadstore::ids::O, &triple.o)?;
+    match &triple.g {
+        CGraph::Any | CGraph::Default => {}
+        CGraph::Const(_, Some(_)) => {}
+        CGraph::Const(_, None) => return None,
+        CGraph::Var(slot) => {
+            if bind[*slot] == BindState::Unbound {
+                if out.iter().any(|&(_, s)| s == *slot) {
+                    return None;
+                }
+                out.push((quadstore::ids::G, *slot));
+            }
+        }
+    }
+    for &(_, slot) in &out {
+        bind[slot] = BindState::Col;
+    }
+    Some(out)
+}
+
+/// Builds a probe spec from a triple and the current bind states,
+/// recording column reads. `None` for constants absent from the store.
+fn probe_spec(triple: &CTriple, bind: &[BindState]) -> Option<(ProbeSpec, Vec<usize>)> {
+    let mut reads = Vec::new();
+    let mut pos = |cpos: &CPos| -> Option<PosSpec> {
+        match cpos {
+            CPos::Var(slot) => match bind[*slot] {
+                BindState::Unbound => Some(PosSpec::Any),
+                BindState::Base(id) => Some(PosSpec::Const(id)),
+                BindState::Col => {
+                    reads.push(*slot);
+                    Some(PosSpec::Col(*slot))
+                }
+            },
+            CPos::Const(_, Some(id)) => Some(PosSpec::Const(id.0)),
+            CPos::Const(_, None) => None,
+        }
+    };
+    let s = pos(&triple.s)?;
+    let p = pos(&triple.p)?;
+    let o = pos(&triple.o)?;
+    let g = match &triple.g {
+        CGraph::Any => GSpec::Fixed(GraphConstraint::Any),
+        CGraph::Default => GSpec::Fixed(GraphConstraint::DefaultOnly),
+        CGraph::Const(_, Some(id)) => GSpec::Fixed(GraphConstraint::Named(*id)),
+        CGraph::Const(_, None) => return None,
+        CGraph::Var(slot) => match bind[*slot] {
+            BindState::Unbound => GSpec::Fixed(GraphConstraint::AnyNamed),
+            BindState::Base(id) => GSpec::Fixed(GraphConstraint::Named(TermId(id))),
+            BindState::Col => {
+                reads.push(*slot);
+                GSpec::Col(*slot)
+            }
+        },
+    };
+    Some((ProbeSpec { s, p, o, g }, reads))
+}
+
+/// A bound slot's per-row value source.
+fn val_src(slot: usize, bind: &[BindState], reads: &mut Vec<usize>) -> ValSrc {
+    match bind[slot] {
+        BindState::Base(id) => ValSrc::Const(id),
+        BindState::Col => {
+            reads.push(slot);
+            ValSrc::Col(slot)
+        }
+        BindState::Unbound => unreachable!("caller checked boundness"),
+    }
+}
+
+/// Residual consistency checks for a hash probe: every position
+/// `extend_row` would verify that the key positions do not already cover.
+fn hash_checks(
+    triple: &CTriple,
+    join_slots: &[usize],
+    key_pos: &[usize],
+    bind: &[BindState],
+    reads: &mut Vec<usize>,
+) -> Vec<(usize, ValSrc)> {
+    let mut checks = Vec::new();
+    let mut visit = |pos: usize, cpos: &CPos| {
+        if key_pos.contains(&pos) {
+            return;
+        }
+        match cpos {
+            CPos::Var(slot) => {
+                if join_slots.contains(slot) || bind[*slot] != BindState::Unbound {
+                    checks.push((pos, val_src(*slot, bind, reads)));
+                }
+            }
+            CPos::Const(_, Some(id)) => checks.push((pos, ValSrc::Const(id.0))),
+            CPos::Const(_, None) => {}
+        }
+    };
+    visit(quadstore::ids::S, &triple.s);
+    visit(quadstore::ids::P, &triple.p);
+    visit(quadstore::ids::O, &triple.o);
+    if let CGraph::Var(slot) = &triple.g {
+        if !key_pos.contains(&quadstore::ids::G)
+            && (join_slots.contains(slot) || bind[*slot] != BindState::Unbound)
+        {
+            checks.push((quadstore::ids::G, val_src(*slot, bind, reads)));
+        }
+    }
+    checks
+}
+
+/// Compiles one FILTER conjunct. Returns the spec plus whether the
+/// expression references EXISTS (which widens liveness to every slot).
+fn filter_spec<'p>(
+    ctx: &EvalCtx,
+    expr: &'p CExpr,
+    base: &Row,
+    bind: &[BindState],
+    reads: &mut Vec<usize>,
+) -> (FilterSpec<'p>, bool) {
+    let mut slots = Vec::new();
+    let exists = expr.collect_slots(&mut slots);
+    let col_slots: Vec<usize> = {
+        let mut cs: Vec<usize> = slots
+            .iter()
+            .copied()
+            .filter(|&s| bind[s] == BindState::Col)
+            .collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    };
+    if !exists && col_slots.is_empty() {
+        // Every input is a base constant or statically unbound: constant
+        // fold by evaluating against the base row (the exact environment
+        // the row pipeline would see for these slots).
+        let env = RowEnv { ctx, row: base, aggs: None };
+        let spec = if expr.eval_filter(&env) { FilterSpec::True } else { FilterSpec::False };
+        return (spec, false);
+    }
+    reads.extend_from_slice(&col_slots);
+    if !exists {
+        match expr {
+            CExpr::SlotEqConst(slot, Some(id), _) if bind[*slot] == BindState::Col => {
+                return (FilterSpec::ColEqConst { slot: *slot, id: *id }, false);
+            }
+            CExpr::KindCheck(slot, kind) if bind[*slot] == BindState::Col => {
+                return (FilterSpec::ColKind { slot: *slot, kind: *kind }, false);
+            }
+            _ => {}
+        }
+    }
+    (FilterSpec::Generic { expr, col_slots }, exists)
+}
+
+/// The join slots of a hash step (for the shared build-table closure).
+fn hash_join_slots(step: &Step) -> &[usize] {
+    match &step.strategy {
+        Strategy::HashJoin { join_slots } => join_slots,
+        Strategy::IndexNlj => unreachable!("hash op on NLJ step"),
+    }
+}
+
+/// The sequential vectorized producer for a non-grouped SELECT: splits
+/// root UNIONs like the parallel executor, compiles every branch (all or
+/// nothing, so no charges land before the decision to use the vectorized
+/// path), and runs the branches in sequential order. `None` falls back to
+/// the streaming row pipeline.
+pub(super) fn vec_produce(ctx: &EvalCtx, sel: &CSelect) -> Option<Vec<Row>> {
+    if !ctx.vectorize {
+        return None;
+    }
+    let mut plans: Vec<DrivePlan<'_>> = Vec::new();
+    if !collect_plans(ctx, &sel.root, &[], &mut plans) {
+        return None;
+    }
+    let needed = needed_slots(ctx, sel);
+    let pipes: Vec<VecPipeline<'_>> = plans
+        .iter()
+        .map(|p| VecPipeline::compile(ctx, p, &needed))
+        .collect::<Option<_>>()?;
+    let mut out = Vec::new();
+    for pipe in &pipes {
+        pipe.run_sequential(ctx, &mut out);
+    }
+    Some(out)
+}

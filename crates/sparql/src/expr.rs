@@ -187,6 +187,46 @@ pub trait ExprEnv {
 }
 
 impl CExpr {
+    /// Collects every binding slot this expression reads into `slots`
+    /// (duplicates possible; dedup is the caller's concern). Returns `true`
+    /// if the expression references an `EXISTS` pattern, whose inner node
+    /// may read arbitrary slots beyond the ones collected here — callers
+    /// doing liveness analysis must then treat every slot as read.
+    pub fn collect_slots(&self, slots: &mut Vec<usize>) -> bool {
+        match self {
+            CExpr::Var(slot) => {
+                slots.push(*slot);
+                false
+            }
+            CExpr::Const(_) | CExpr::Agg(_) => false,
+            CExpr::KindCheck(slot, _) => {
+                slots.push(*slot);
+                false
+            }
+            CExpr::SlotEqConst(slot, _, fallback) => {
+                slots.push(*slot);
+                fallback.collect_slots(slots)
+            }
+            CExpr::Or(a, b)
+            | CExpr::And(a, b)
+            | CExpr::Compare(_, a, b)
+            | CExpr::Arith(_, a, b) => {
+                let ea = a.collect_slots(slots);
+                let eb = b.collect_slots(slots);
+                ea | eb
+            }
+            CExpr::Not(e) | CExpr::Neg(e) => e.collect_slots(slots),
+            CExpr::Call(_, args) => {
+                let mut saw = false;
+                for a in args {
+                    saw |= a.collect_slots(slots);
+                }
+                saw
+            }
+            CExpr::ExistsRef(_) => true,
+        }
+    }
+
     /// Evaluates to a value; `None` is SPARQL's "error" (unbound variable,
     /// type error), which filters treat as false.
     pub fn eval(&self, env: &dyn ExprEnv) -> Option<Value> {

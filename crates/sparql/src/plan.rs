@@ -364,11 +364,17 @@ pub struct CompileOptions {
     pub union_default_graph: bool,
     /// Optional join-strategy override (ablations only).
     pub force_join: Option<ForcedJoin>,
+    /// Whether executions of this plan may use the vectorized columnar
+    /// pipeline. Part of the plan-cache key: a plan prepared for
+    /// vectorized execution must never be served to a `vectorize(false)`
+    /// request (the reference row pipeline is the correctness oracle and
+    /// must not silently inherit vectorized state, and vice versa).
+    pub vectorize: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { union_default_graph: true, force_join: None }
+        CompileOptions { union_default_graph: true, force_join: None, vectorize: true }
     }
 }
 

@@ -4,7 +4,10 @@
 
 use quadstore::Store;
 use rdf_model::{Quad, Term};
-use sparql::{query, query_with_limits, ExecLimits, QueryResults, SparqlError};
+use sparql::{
+    query, query_with_limits, query_with_options, ExecLimits, ExecOptions, QueryResults,
+    SparqlError,
+};
 
 /// A store where `?a ?p ?x . ?b ?p ?y` explodes quadratically.
 fn dense_store(n: u32) -> Store {
@@ -73,6 +76,54 @@ fn budget_inside_subselect_still_surfaces() {
         matches!(result, Err(SparqlError::ResourceExhausted(_))),
         "expected ResourceExhausted, got {result:?}"
     );
+}
+
+/// The memory budget must account for the executor's own row/column
+/// buffers, not just retained state like hash tables: a wide cross
+/// product whose intermediate buffers dwarf the budget has to abort
+/// *between* operators under every pipeline — vectorized at any batch
+/// size, the row pipeline, and the parallel executor. (Regression: the
+/// collected row vectors and column batches were once uncharged, so a
+/// wide scan could balloon far past `max_memory` before any retained
+/// state tripped the limit.)
+#[test]
+fn memory_budget_charges_interoperator_buffers() {
+    let store = dense_store(300);
+    // 300 × 300 = 90,000 intermediate rows; even at 8 bytes per value the
+    // buffers need >1.4 MB against a 64 KB budget.
+    let limits = ExecLimits::memory(64 * 1024);
+    for (label, options) in [
+        ("vectorized", ExecOptions::default().with_limits(limits)),
+        ("vectorized batch=1", ExecOptions::default().with_limits(limits).with_batch_size(1)),
+        ("row", ExecOptions::default().with_limits(limits).with_vectorize(false)),
+        ("parallel", ExecOptions::threads(4).with_limits(limits)),
+    ] {
+        let result = query_with_options(&store, "m", CROSS, options);
+        assert!(
+            matches!(result, Err(SparqlError::ResourceExhausted(_))),
+            "{label}: expected ResourceExhausted, got {result:?}"
+        );
+    }
+}
+
+/// A budget big enough for the buffers must leave results bit-identical
+/// across the vectorized and row pipelines.
+#[test]
+fn memory_budget_generous_changes_nothing() {
+    let store = dense_store(12);
+    let unlimited = query(&store, "m", CROSS).expect("unlimited");
+    for (label, options) in [
+        ("vectorized", ExecOptions::default().with_limits(ExecLimits::memory(64 * 1024 * 1024))),
+        (
+            "row",
+            ExecOptions::default().with_limits(ExecLimits::memory(64 * 1024 * 1024))
+                .with_vectorize(false),
+        ),
+    ] {
+        let limited = query_with_options(&store, "m", CROSS, options)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(unlimited, limited, "{label} diverged under a generous budget");
+    }
 }
 
 #[test]

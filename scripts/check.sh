@@ -18,10 +18,16 @@ cargo test --release -q --test parallel_equivalence
 # torn reads and publish races need optimized codegen to surface.
 cargo test --release -q --test concurrent_snapshots
 
+# The vectorized columnar pipeline must stay bit-identical to the
+# row-at-a-time reference pipeline (EQ1-EQ5 x threads x encodings x
+# batch sizes, plus aggregates/traversal/triangles and EXPLAIN ANALYZE
+# tally parity) under optimized codegen.
+cargo test --release -q --test vectorized_equivalence
+
 # Bench harness smoke run: every section (including the PR2
 # parallel/plan-cache artifact, the PR3 snapshot-isolated read scaling
-# artifact, and the PR4 operator-profile artifact) must complete on a
-# small fixture.
+# artifact, the PR4 operator-profile artifact, and the PR8 vectorized
+# vs row artifact) must complete on a small fixture.
 cargo run --release -q --bin repro -- --scale 0.01
 
 # Telemetry overhead guard: the EQ1-EQ5 batch with engine counters
@@ -39,3 +45,9 @@ cargo test --release -q --test resource_governor
 # governance (admission permit, cancel token, memory budget, deadline)
 # must cost at most 5% more wall time than ungoverned execution.
 cargo run --release -q --bin repro -- --scale 0.01 governor
+
+# Vectorized-pipeline guard: the default vectorized executor must never
+# be more than 5% slower than the row pipeline on any EQ1-EQ5 query
+# (per-query best-of-5 alternating rounds; exits non-zero past the
+# budget).
+cargo run --release -q --bin repro -- --scale 0.01 vecguard
