@@ -10,6 +10,8 @@
 //!                                       # threads over one shared store
 //! pgq --demo --profile QUERY            # EXPLAIN ANALYZE + profile JSON
 //! pgq --demo --metrics QUERY            # Prometheus metrics dump
+//! pgq --demo QUERY --sys "SELECT ..."   # then query the engine itself
+//! pgq --demo --trace-out t.json QUERY   # Chrome trace of the query
 //! ```
 //!
 //! Replay files hold one query per paragraph: queries are separated by
@@ -24,6 +26,12 @@
 //! the whole run and dumps the global registry in Prometheus text
 //! exposition format after the work completes; both flags compose with
 //! any load/query/replay mode.
+//!
+//! `--sys "<sparql>"` runs a second query against the engine's own
+//! system graphs after the main work — the flight recorder, registry
+//! metrics, plan cache, and storage stats materialized as RDF (see the
+//! vocabulary in `--help`). `--trace-out FILE` writes the main query's
+//! span timeline as Chrome `chrome://tracing` JSON.
 //!
 //! Resource-governor flags:
 //! `--timeout SECS` gives every query a deadline, `--memory-limit BYTES`
@@ -60,6 +68,8 @@ struct Args {
     memory_limit: Option<u64>,
     max_concurrent: usize,
     no_vectorize: bool,
+    sys: Option<String>,
+    trace_out: Option<String>,
     query: Option<String>,
 }
 
@@ -67,9 +77,28 @@ fn usage() -> ! {
     eprintln!(
         "usage: pgq [--graph FILE.tsv | --snap DIR | --demo | --generate SCALE --out FILE]\n\
          \x20          [--model ng|sp|rf] [--partitioned] [--json] [--explain]\n\
-         \x20          [--profile] [--metrics]\n\
+         \x20          [--profile] [--metrics] [--sys SPARQL] [--trace-out FILE]\n\
          \x20          [--timeout SECS] [--memory-limit BYTES[k|m|g]] [--max-concurrent N]\n\
-         \x20          [--no-vectorize] [--workers N] [--replay FILE.rq] [--repeat N] [QUERY|-]"
+         \x20          [--no-vectorize] [--workers N] [--replay FILE.rq] [--repeat N] [QUERY|-]\n\
+         \n\
+         system graphs (--sys, or any query naming them; PREFIX sys: <pgrdf:sys#>):\n\
+         \x20 <pgrdf:sys/queries>  flight recorder — per query: sys:queryId sys:family\n\
+         \x20                      sys:textHash sys:admissionWaitNanos sys:cacheHit\n\
+         \x20                      sys:compileNanos sys:execNanos sys:rowsOut\n\
+         \x20                      sys:peakMemBytes sys:threads sys:vectorized\n\
+         \x20                      sys:outcome (ok|cancelled|deadline|memory_exhausted|shed)\n\
+         \x20                      sys:spanCount\n\
+         \x20 <pgrdf:sys/metrics>  registry — sys:name sys:label sys:help sys:kind, plus\n\
+         \x20                      sys:value (counter/gauge) or sys:count sys:sum\n\
+         \x20                      sys:p50 sys:p95 sys:p99 (histogram)\n\
+         \x20 <pgrdf:sys/plans>    plan cache — per entry: sys:dataset sys:text\n\
+         \x20                      sys:vectorized sys:epoch sys:hits sys:ageTicks;\n\
+         \x20                      cache-wide counters under <pgrdf:sys/plancache>\n\
+         \x20 <pgrdf:sys/store>    storage — per object: sys:object sys:entries\n\
+         \x20                      sys:bytes; totals under <pgrdf:sys/store>\n\
+         \n\
+         example: pgq --demo --sys \"SELECT ?q ?ns WHERE {{ GRAPH <pgrdf:sys/queries>\n\
+         \x20        {{ ?q <pgrdf:sys#execNanos> ?ns }} }} ORDER BY DESC(?ns)\""
     );
     std::process::exit(2);
 }
@@ -152,6 +181,8 @@ fn parse_args() -> Args {
         memory_limit: None,
         max_concurrent: 0,
         no_vectorize: false,
+        sys: None,
+        trace_out: None,
         query: None,
     };
     let mut argv = std::env::args().skip(1);
@@ -199,6 +230,10 @@ fn parse_args() -> Args {
             // Force the row-at-a-time reference pipeline (the vectorized
             // columnar pipeline is the default).
             "--no-vectorize" => args.no_vectorize = true,
+            "--sys" => args.sys = Some(argv.next().unwrap_or_else(|| usage())),
+            "--trace-out" => {
+                args.trace_out = Some(argv.next().unwrap_or_else(|| usage()))
+            }
             "--help" | "-h" => usage(),
             q => args.query = Some(q.to_string()),
         }
@@ -280,6 +315,13 @@ fn main() {
             if args.max_concurrent == 1 { "y" } else { "ies" });
     }
 
+    // Span timelines are captured when the slow-query log is armed; a
+    // 1ns threshold makes every query "slow", so `--trace-out` always
+    // has a timeline to export.
+    if args.trace_out.is_some() {
+        store.set_slow_query_threshold(1);
+    }
+
     let single_query = match &args.query {
         Some(q) if q == "-" => {
             let mut buf = String::new();
@@ -307,11 +349,22 @@ fn main() {
             fail("replay: no queries (file empty, or missing QUERY argument)");
         }
         replay(&store, &queries, args.workers.max(1), args.repeat.max(1), &args);
+        write_latest_trace(&store, &args);
+        run_sys(&store, &args);
         dump_metrics(&args);
         return;
     }
 
-    let query = single_query.unwrap_or_else(|| usage());
+    let query = match single_query {
+        Some(q) => q,
+        // `--sys` alone: skip the main query and only introspect.
+        None if args.sys.is_some() => {
+            run_sys(&store, &args);
+            dump_metrics(&args);
+            return;
+        }
+        None => usage(),
+    };
 
     if args.explain {
         match store.explain(&query) {
@@ -326,9 +379,13 @@ fn main() {
             Ok((_sols, profile)) => {
                 println!("{}", profile.analyze);
                 println!("{}", profile.to_json());
+                if let Some(path) = &args.trace_out {
+                    write_trace(&store, profile.query_id, path);
+                }
             }
             Err(e) => fail(&format!("profile: {e}")),
         }
+        run_sys(&store, &args);
         dump_metrics(&args);
         return;
     }
@@ -349,6 +406,8 @@ fn main() {
         }
         Err(e) => fail(&format!("query: {e}")),
     }
+    write_latest_trace(&store, &args);
+    run_sys(&store, &args);
     dump_metrics(&args);
 }
 
@@ -357,6 +416,53 @@ fn main() {
 fn dump_metrics(args: &Args) {
     if args.metrics {
         print!("{}", telemetry::global().render_prometheus());
+    }
+}
+
+/// Runs the `--sys` introspection query against the system graphs and
+/// prints its results like a normal query's.
+fn run_sys(store: &PgRdfStore, args: &Args) {
+    let Some(q) = &args.sys else { return };
+    match store.query_sys(q) {
+        Ok(results) => {
+            if args.json {
+                println!("{}", sparql::json::to_json(&results));
+            } else {
+                match results {
+                    sparql::QueryResults::Solutions(s) => print!("{s}"),
+                    sparql::QueryResults::Boolean(b) => println!("{b}"),
+                    sparql::QueryResults::Graph(quads) => {
+                        print!("{}", rdf_model::nquads::serialize(&quads))
+                    }
+                }
+            }
+        }
+        Err(e) => fail(&format!("sys query: {e}")),
+    }
+}
+
+/// Writes the Chrome trace of `query_id` to `path` (`--trace-out`).
+fn write_trace(store: &PgRdfStore, query_id: u64, path: &str) {
+    match store.trace_json(query_id) {
+        Some(json) => {
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!("wrote trace of query {query_id} to {path} (open in chrome://tracing)");
+        }
+        None => eprintln!(
+            "pgq: no trace recorded for query {query_id} (flight recorder disabled?)"
+        ),
+    }
+}
+
+/// `--trace-out` for paths that don't know their query id: exports the
+/// most recent flight-recorder entry (in this single-process CLI, the
+/// query that just ran).
+fn write_latest_trace(store: &PgRdfStore, args: &Args) {
+    let Some(path) = &args.trace_out else { return };
+    match telemetry::flight_recorder().snapshot().last() {
+        Some(event) => write_trace(store, event.query_id, path),
+        None => eprintln!("pgq: flight recorder is empty; no trace to export"),
     }
 }
 

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [--scale 0.02] [--seed 7739251] [table2|table5|table6|table7|table8|table9|
-//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|pr4|pr8|durability|overhead|
-//!        governor|vecguard|all]
+//!        fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|pr4|pr8|pr9|durability|
+//!        overhead|governor|vecguard|flightguard|all]
 //! ```
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
@@ -44,7 +44,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|pr4|pr8|durability|overhead|governor|vecguard|all]"
+                    "usage: repro [--scale F] [--seed N] [table2|table5|table6|table7|table8|table9|fig4|fig5|fig6|fig7|fig8|fig9|rf|mono|pr2|pr3|pr4|pr8|pr9|durability|overhead|governor|vecguard|flightguard|all]"
                 );
                 std::process::exit(0);
             }
@@ -76,8 +76,8 @@ fn main() {
     // Everything below needs the generated dataset.
     let needs_fixture = [
         "table5", "table6", "table7", "table8", "table9", "fig4", "fig5", "fig6", "fig7",
-        "fig8", "fig9", "rf", "mono", "pr2", "pr3", "pr4", "pr8", "durability", "overhead",
-        "governor", "vecguard",
+        "fig8", "fig9", "rf", "mono", "pr2", "pr3", "pr4", "pr8", "pr9", "durability",
+        "overhead", "governor", "vecguard", "flightguard",
     ]
     .iter()
     .any(|s| want(s));
@@ -174,6 +174,9 @@ fn main() {
     if want("pr8") {
         bench_pr8(&fixture, &args);
     }
+    if want("pr9") {
+        bench_pr9(&fixture, &args);
+    }
     // Opt-in (not part of `all`): fsync-heavy, so only on explicit ask.
     if args.sections.iter().any(|s| s == "durability") {
         durability(&fixture);
@@ -195,6 +198,12 @@ fn main() {
     // calls `repro vecguard` as the vectorized-performance guard).
     if args.sections.iter().any(|s| s == "vecguard") {
         vecguard(&fixture);
+    }
+    // Opt-in (not part of `all`): toggles the global flight recorder and
+    // exits non-zero on a regression (CI calls `repro flightguard` as
+    // the flight-recorder overhead guard).
+    if args.sections.iter().any(|s| s == "flightguard") {
+        flightguard(&fixture);
     }
 }
 
@@ -997,6 +1006,196 @@ fn bench_pr8(fixture: &Fixture, args: &Args) {
     );
     std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
     println!("wrote BENCH_PR8.json");
+}
+
+/// Times the warmed EQ1–EQ5 batch (NG and SP) with the flight recorder
+/// disabled and enabled back-to-back in each round and returns the
+/// cleanest round's `(ratio, disabled_ms, enabled_ms)`. Telemetry is
+/// forced off for the measurement so the disabled side takes the
+/// untracked fast path and the delta is purely the recorder's tracked
+/// path; paired rounds + minimum ratio cancel machine-load drift the
+/// same way the telemetry and governor guards do.
+fn recorder_overhead(fixture: &Fixture, rounds: usize, passes: usize) -> (f64, f64, f64) {
+    const QUERIES: [Eq; 5] = [Eq::Eq1, Eq::Eq2, Eq::Eq3, Eq::Eq4, Eq::Eq5];
+
+    let mut work = Vec::new();
+    for model in [PgRdfModel::NG, PgRdfModel::SP] {
+        let store = fixture.store(model);
+        for eq in QUERIES {
+            let text = fixture.query_text(eq, model);
+            let dataset = fixture.dataset_for(eq, model);
+            store.select_in(&dataset, &text).expect("recorder warm-up");
+            work.push((store, dataset, text));
+        }
+    }
+    let batch = || {
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            for (store, dataset, text) in &work {
+                store.select_in(dataset, text).expect("recorder batch");
+            }
+        }
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+
+    let recorder = telemetry::flight_recorder();
+    let was_recording = recorder.enabled();
+    let was_telemetry = telemetry::enabled();
+    telemetry::set_enabled(false);
+    let mut ratio = f64::INFINITY;
+    let (mut off, mut on) = (f64::NAN, f64::NAN);
+    for round in 0..rounds {
+        let timed = |rec: bool| {
+            recorder.set_enabled(rec);
+            batch()
+        };
+        let (o, e) = if round % 2 == 0 {
+            let o = timed(false);
+            (o, timed(true))
+        } else {
+            let e = timed(true);
+            (timed(false), e)
+        };
+        if e / o < ratio {
+            (ratio, off, on) = (e / o, o, e);
+        }
+    }
+    recorder.set_enabled(was_recording);
+    telemetry::set_enabled(was_telemetry);
+    (ratio, off, on)
+}
+
+/// PR9: the cost of self-observation, written to `BENCH_PR9.json`. Two
+/// measurements: (1) the flight recorder's paired on/off overhead on the
+/// EQ1–EQ5 batch (NG and SP) — the recorder is on by default, so this is
+/// the price every query pays; (2) the latency of querying each system
+/// graph with SPARQL, which bounds how expensive `pgrdf:sys/*`
+/// dashboards are (every run re-materializes the overlay from live
+/// engine state).
+fn bench_pr9(fixture: &Fixture, args: &Args) {
+    const ROUNDS: usize = 5;
+    const PASSES: usize = 5;
+    const SYS_ITERS: usize = 9;
+
+    println!("\n--- PR9: flight recorder + system views (BENCH_PR9.json) ---");
+    let (ratio, off, on) = recorder_overhead(fixture, ROUNDS, PASSES);
+    println!(
+        "recorder overhead: EQ1-EQ5 x NG,SP x {PASSES} passes, cleanest of {ROUNDS} paired \
+         rounds: off={off:.3}ms on={on:.3}ms ratio={ratio:.3}"
+    );
+
+    // Sys-view latency on the NG store, which by now holds flight
+    // entries and warmed plan-cache entries from the overhead rounds.
+    // One instrumented query first so the metrics graph has samples.
+    let store = fixture.store(PgRdfModel::NG);
+    let was_telemetry = telemetry::enabled();
+    telemetry::set_enabled(true);
+    store
+        .select_in(
+            &fixture.dataset_for(Eq::Eq1, PgRdfModel::NG),
+            &fixture.query_text(Eq::Eq1, PgRdfModel::NG),
+        )
+        .expect("metrics seed query");
+    telemetry::set_enabled(was_telemetry);
+    let sys_queries: [(&str, &str); 4] = [
+        (
+            "queries_top10",
+            "SELECT ?q ?ns WHERE { GRAPH <pgrdf:sys/queries> { \
+               ?q <pgrdf:sys#execNanos> ?ns } } ORDER BY DESC(?ns) LIMIT 10",
+        ),
+        (
+            "metrics_all",
+            "SELECT ?m ?v WHERE { GRAPH <pgrdf:sys/metrics> { ?m <pgrdf:sys#value> ?v } }",
+        ),
+        (
+            "plans_hot",
+            "SELECT ?p ?h WHERE { GRAPH <pgrdf:sys/plans> { ?p <pgrdf:sys#hits> ?h } } \
+             ORDER BY DESC(?h) LIMIT 10",
+        ),
+        (
+            "store_bytes",
+            "SELECT ?b WHERE { GRAPH <pgrdf:sys/store> { \
+               <pgrdf:sys/store> <pgrdf:sys#totalBytes> ?b } }",
+        ),
+    ];
+    println!("{:<14} {:>10} {:>10} {:>6}", "sys view", "median", "p95", "rows");
+    let mut sys_blocks = Vec::new();
+    for (label, text) in sys_queries {
+        let mut ms = Vec::new();
+        let mut rows = 0usize;
+        for _ in 0..SYS_ITERS {
+            let t0 = Instant::now();
+            let sols = store.select_sys(text).expect("sys query");
+            ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            rows = sols.len();
+        }
+        let (med, p95) = (percentile(&ms, 50.0), percentile(&ms, 95.0));
+        println!(
+            "{label:<14} {:>10} {:>10} {rows:>6}",
+            format!("{med:.3}ms"),
+            format!("{p95:.3}ms")
+        );
+        sys_blocks.push(format!(
+            "    \"{label}\": {{\"median_ms\": {med:.3}, \"p95_ms\": {p95:.3}, \"rows\": {rows}}}"
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scale\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"recorder_overhead\": {{\n",
+            "    \"batch\": \"EQ1-EQ5 x NG,SP x {} passes\",\n",
+            "    \"rounds\": {},\n",
+            "    \"disabled_ms\": {:.3},\n",
+            "    \"enabled_ms\": {:.3},\n",
+            "    \"ratio\": {:.4}\n",
+            "  }},\n",
+            "  \"sys_view_latency_ms\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        args.scale,
+        args.seed,
+        PASSES,
+        ROUNDS,
+        off,
+        on,
+        ratio,
+        sys_blocks.join(",\n")
+    );
+    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
+    println!("wrote BENCH_PR9.json");
+}
+
+/// CI guard for the flight-recorder budget: the recorder is on by
+/// default, so its tracked path is the price every query pays — the
+/// EQ1–EQ5 batch with the recorder on must cost at most 5% more wall
+/// time than with it off (cleanest of 5 paired rounds, same noise model
+/// as the telemetry guard). Exits non-zero past the budget.
+fn flightguard(fixture: &Fixture) {
+    const ROUNDS: usize = 5;
+    const PASSES: usize = 5;
+    const BUDGET: f64 = 1.05;
+
+    println!("\n--- Flight-recorder overhead guard (budget: +5% wall time) ---");
+    let (ratio, off, on) = recorder_overhead(fixture, ROUNDS, PASSES);
+    println!(
+        "batch = EQ1-EQ5 x NG,SP x {PASSES} passes, cleanest of {ROUNDS} paired rounds: \
+         recorder-off={off:.3}ms recorder-on={on:.3}ms ratio={ratio:.3}"
+    );
+    if ratio > BUDGET {
+        eprintln!(
+            "repro: flight-recorder overhead {:.1}% exceeds the {:.0}% budget",
+            (ratio - 1.0) * 100.0,
+            (BUDGET - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "flight-recorder overhead within budget ({:+.1}%)",
+        (ratio - 1.0) * 100.0
+    );
 }
 
 /// CI guard for the vectorized pipeline: on every one of EQ1–EQ5 (NG and

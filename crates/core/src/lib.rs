@@ -30,6 +30,7 @@ pub mod publish;
 pub mod queries;
 pub mod roundtrip;
 pub mod store;
+pub mod sysview;
 pub mod vocab;
 
 pub use convert::{convert, convert_with, ConvertOptions, PgRdfModel};
@@ -38,4 +39,7 @@ pub use governor::{AdmissionPermit, Governor, GovernorConfig, GovernorStats};
 pub use metrics::SlowQuery;
 pub use queries::QuerySet;
 pub use store::{LoadOptions, PartitionLayout, PgRdfStore};
+pub use sysview::{
+    is_sys_query, SYS_GRAPH_METRICS, SYS_GRAPH_PLANS, SYS_GRAPH_QUERIES, SYS_GRAPH_STORE, SYS_NS,
+};
 pub use vocab::PgVocab;

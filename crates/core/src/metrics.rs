@@ -41,6 +41,9 @@ pub(crate) fn governor_queue_wait_nanos() -> &'static Histogram {
 /// One retained slow-query record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlowQuery {
+    /// Process-unique query id — joins this entry against the flight
+    /// recorder (`pgrdf:sys/queries`) and trace export.
+    pub query_id: u64,
     /// The query text as submitted.
     pub query: String,
     /// The dataset it ran against.
@@ -50,8 +53,12 @@ pub struct SlowQuery {
     pub family: &'static str,
     /// End-to-end execution wall time in nanoseconds.
     pub wall_nanos: u64,
-    /// Result rows returned (0 for ASK/CONSTRUCT).
+    /// Result rows returned (0 for ASK/CONSTRUCT, or before an abort).
     pub result_rows: u64,
+    /// Terminal state: `ok`, `cancelled`, `deadline`,
+    /// `memory_exhausted`, or `shed`. Aborted queries are logged
+    /// whenever the log is armed, regardless of their wall time.
+    pub outcome: &'static str,
 }
 
 /// Classifies a compiled plan into its latency family.

@@ -10,8 +10,10 @@ use propertygraph::PropertyGraph;
 use quadstore::{IndexKind, ModelStats, Snapshot, StorageReport, Store};
 use rdf_model::Quad;
 use sparql::{
-    CompiledQuery, ExecOptions, PlanCache, QueryProfile, QueryResults, Solutions, UpdateStats,
+    ExecObserver, ExecOptions, PlanCache, QueryProfile, QueryResults, Solutions, SparqlError,
+    UpdateStats,
 };
+use telemetry::{QueryEvent, QueryOutcome, TraceSink};
 
 use crate::convert::{convert_with, ConvertOptions, PgRdfModel};
 use crate::error::CoreError;
@@ -296,9 +298,23 @@ impl PgRdfStore {
         text: &str,
         options: ExecOptions,
     ) -> Result<QueryResults, CoreError> {
-        // Admission happens before any per-query work and the permit is
-        // held for the query's whole lifetime (RAII: released on every
-        // exit path, including errors below).
+        // Queries naming a system graph run against the introspection
+        // overlay instead of the real dataset (see `crate::sysview`).
+        if crate::sysview::is_sys_query(text) {
+            return self.query_sys_with(text, options);
+        }
+        // Three relaxed loads decide whether this query is tracked at
+        // all — the observability-off cost of the facade.
+        let threshold = self.slow_threshold_nanos.load(Ordering::Relaxed);
+        let track = threshold > 0
+            || telemetry::enabled()
+            || telemetry::flight_recorder().enabled();
+        if track {
+            return self.query_tracked_at(snapshot, dataset, text, options, threshold);
+        }
+        // Untracked fast path. Admission happens before any per-query
+        // work and the permit is held for the query's whole lifetime
+        // (RAII: released on every exit path, including errors below).
         let _permit = self.admit(&options)?;
         let view = snapshot.dataset(dataset)?;
         // The key folds in the dataset name *and* the physical index
@@ -312,43 +328,160 @@ impl PgRdfStore {
                 let parsed = sparql::parse_query(text)?;
                 sparql::compile_with(&view, &parsed, copts)
             })?;
-        // One relaxed bool load + one relaxed u64 load decide whether this
-        // query is timed at all — the telemetry-off cost of the facade.
-        let track = telemetry::enabled() || self.slow_threshold_nanos.load(Ordering::Relaxed) > 0;
-        let start = track.then(Instant::now);
-        let results = sparql::execute_compiled_with_options(&view, &plan, options)?;
-        if let Some(start) = start {
-            let rows = match &results {
-                QueryResults::Solutions(s) => s.len() as u64,
-                QueryResults::Boolean(_) => 0,
-                QueryResults::Graph(g) => g.len() as u64,
-            };
-            self.observe(text, dataset, &plan, start.elapsed().as_nanos() as u64, rows);
-        }
-        Ok(results)
+        Ok(sparql::execute_compiled_with_options(&view, &plan, options)?)
     }
 
-    /// Records one finished query into the family-latency histogram and,
-    /// when over the configured threshold, the slow-query log.
-    fn observe(&self, text: &str, dataset: &str, plan: &CompiledQuery, wall_nanos: u64, rows: u64) {
-        let family = crate::metrics::family(plan);
-        if telemetry::enabled() {
-            crate::metrics::family_latency(family).record(wall_nanos);
+    /// The instrumented twin of the fast path: same admission, plan
+    /// cache, and execution, plus a [`QueryEvent`] fed to the flight
+    /// recorder, the family-latency histogram, and the slow-query log.
+    /// Span timelines are captured only when the slow-query log is armed
+    /// (`threshold > 0`) and kept only for queries that were slow or
+    /// aborted, so steady-state tracking stays cheap.
+    fn query_tracked_at(
+        &self,
+        snapshot: &Snapshot,
+        dataset: &str,
+        text: &str,
+        options: ExecOptions,
+        threshold: u64,
+    ) -> Result<QueryResults, CoreError> {
+        let query_id = telemetry::next_query_id();
+        let text_hash = telemetry::fnv1a64(text.as_bytes());
+        let vectorized = options.vectorize;
+        let sink = (threshold > 0).then(|| Arc::new(TraceSink::new()));
+        let admit_t0 = sink.as_ref().map(|s| s.now_nanos());
+        let admit_start = Instant::now();
+        let permit = self.admit(&options);
+        let admission_wait_nanos = admit_start.elapsed().as_nanos() as u64;
+        if let (Some(s), Some(t0)) = (&sink, admit_t0) {
+            s.record("admit", String::new(), 0, t0);
         }
-        let threshold = self.slow_threshold_nanos.load(Ordering::Relaxed);
-        if threshold > 0 && wall_nanos >= threshold {
+        let _permit = match permit {
+            Ok(permit) => permit,
+            Err(err) => {
+                // A shed query never executed, but it is still a terminal
+                // outcome the operator will ask about — record it.
+                if matches!(err, CoreError::Overloaded(_)) {
+                    let mut event = QueryEvent {
+                        query_id,
+                        family: "unknown",
+                        text_hash,
+                        admission_wait_nanos,
+                        cache_hit: false,
+                        compile_nanos: 0,
+                        exec_nanos: 0,
+                        rows_out: 0,
+                        peak_mem_bytes: 0,
+                        threads: 0,
+                        vectorized,
+                        outcome: QueryOutcome::Shed,
+                        spans: Vec::new(),
+                    };
+                    if let Some(s) = &sink {
+                        event.spans = s.take();
+                    }
+                    self.observe_end(text, dataset, event, threshold);
+                }
+                return Err(err);
+            }
+        };
+        let view = snapshot.dataset(dataset)?;
+        let key = format!("{dataset}={}", view.index_signature());
+        let copts =
+            sparql::CompileOptions { vectorize: options.vectorize, ..Default::default() };
+        let compiled_fresh = std::cell::Cell::new(false);
+        let compile_t0 = sink.as_ref().map(|s| s.now_nanos());
+        let compile_start = Instant::now();
+        let plan = self
+            .plan_cache
+            .get_or_compile(&key, text, copts, snapshot.epoch(), || {
+                compiled_fresh.set(true);
+                let parsed = sparql::parse_query(text)?;
+                sparql::compile_with(&view, &parsed, copts)
+            })?;
+        let compile_nanos = if compiled_fresh.get() {
+            compile_start.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
+        if compiled_fresh.get() {
+            if let (Some(s), Some(t0)) = (&sink, compile_t0) {
+                s.record("compile", String::new(), 0, t0);
+            }
+        }
+        let observer = Arc::new(match &sink {
+            Some(s) => ExecObserver::with_trace(Arc::clone(s)),
+            None => ExecObserver::new(),
+        });
+        let exec_start = Instant::now();
+        let result = sparql::execute_compiled_with_options(
+            &view,
+            &plan,
+            options.with_observer(Arc::clone(&observer)),
+        );
+        let exec_nanos = exec_start.elapsed().as_nanos() as u64;
+        let (outcome, rows_out) = match &result {
+            Ok(results) => (QueryOutcome::Ok, result_rows(results)),
+            Err(err) => match abort_outcome(err) {
+                Some(outcome) => (outcome, 0),
+                // Not an execution outcome (unsupported feature, store
+                // error): nothing happened worth recording.
+                None => return result.map_err(CoreError::from),
+            },
+        };
+        let mut event = QueryEvent {
+            query_id,
+            family: crate::metrics::family(&plan),
+            text_hash,
+            admission_wait_nanos,
+            cache_hit: !compiled_fresh.get(),
+            compile_nanos,
+            exec_nanos,
+            rows_out,
+            peak_mem_bytes: observer.peak_mem_bytes(),
+            threads: observer.threads(),
+            vectorized,
+            outcome,
+            spans: Vec::new(),
+        };
+        if let Some(s) = &sink {
+            // Keep the timeline only when someone will look at it: the
+            // query was slow, or it aborted.
+            if exec_nanos >= threshold || outcome != QueryOutcome::Ok {
+                event.spans = s.take();
+            }
+        }
+        self.observe_end(text, dataset, event, threshold);
+        result.map_err(CoreError::from)
+    }
+
+    /// Terminal bookkeeping for one tracked query: the family-latency
+    /// histogram (telemetry on), the flight recorder (recorder on), and
+    /// the slow-query log when armed. Aborted queries land in the log
+    /// regardless of wall time, so a cancelled or shed query is never
+    /// silently absent from the store's own post-mortem surfaces.
+    fn observe_end(&self, text: &str, dataset: &str, event: QueryEvent, threshold: u64) {
+        if telemetry::enabled() && event.outcome != QueryOutcome::Shed {
+            crate::metrics::family_latency(event.family).record(event.exec_nanos);
+        }
+        if threshold > 0
+            && (event.exec_nanos >= threshold || event.outcome != QueryOutcome::Ok)
+        {
             let mut log = self.slow_log.lock().expect("slow log poisoned");
             if log.len() >= SLOW_LOG_CAP {
                 log.pop_front();
             }
             log.push_back(SlowQuery {
+                query_id: event.query_id,
                 query: text.to_string(),
                 dataset: dataset.to_string(),
-                family,
-                wall_nanos,
-                result_rows: rows,
+                family: event.family,
+                wall_nanos: event.exec_nanos,
+                result_rows: event.rows_out,
+                outcome: event.outcome.as_str(),
             });
         }
+        telemetry::flight_recorder().record(event);
     }
 
     /// Sets the slow-query threshold: any query whose end-to-end
@@ -386,13 +519,49 @@ impl PgRdfStore {
         text: &str,
         options: ExecOptions,
     ) -> Result<(Solutions, QueryProfile), CoreError> {
-        let _permit = self.admit(&options)?;
+        // Profiled runs always carry a trace sink: the span timeline is
+        // part of the deliverable (`trace_json`), not an opt-in.
+        let query_id = telemetry::next_query_id();
+        let text_hash = telemetry::fnv1a64(text.as_bytes());
+        let vectorized = options.vectorize;
+        let threshold = self.slow_threshold_nanos.load(Ordering::Relaxed);
+        let sink = Arc::new(TraceSink::new());
+        let admit_t0 = sink.now_nanos();
+        let admit_start = Instant::now();
+        let permit = self.admit(&options);
+        let admission_wait_nanos = admit_start.elapsed().as_nanos() as u64;
+        sink.record("admit", String::new(), 0, admit_t0);
+        let _permit = match permit {
+            Ok(permit) => permit,
+            Err(err) => {
+                if matches!(err, CoreError::Overloaded(_)) {
+                    let event = QueryEvent {
+                        query_id,
+                        family: "unknown",
+                        text_hash,
+                        admission_wait_nanos,
+                        cache_hit: false,
+                        compile_nanos: 0,
+                        exec_nanos: 0,
+                        rows_out: 0,
+                        peak_mem_bytes: 0,
+                        threads: 0,
+                        vectorized,
+                        outcome: QueryOutcome::Shed,
+                        spans: sink.take(),
+                    };
+                    self.observe_end(text, dataset, event, threshold);
+                }
+                return Err(err);
+            }
+        };
         let snapshot = self.store.snapshot();
         let view = snapshot.dataset(dataset)?;
         let key = format!("{dataset}={}", view.index_signature());
         let copts =
             sparql::CompileOptions { vectorize: options.vectorize, ..Default::default() };
         let compiled_fresh = std::cell::Cell::new(false);
+        let compile_t0 = sink.now_nanos();
         let compile_start = Instant::now();
         let plan = self
             .plan_cache
@@ -406,7 +575,43 @@ impl PgRdfStore {
         } else {
             0
         };
-        let (results, prof) = sparql::execute_profiled(&view, &plan, options)?;
+        if compiled_fresh.get() {
+            sink.record("compile", String::new(), 0, compile_t0);
+        }
+        let observer = Arc::new(ExecObserver::with_trace(Arc::clone(&sink)));
+        let exec_result = sparql::execute_profiled(
+            &view,
+            &plan,
+            options.with_observer(Arc::clone(&observer)),
+        );
+        let family = crate::metrics::family(&plan);
+        let mut event = QueryEvent {
+            query_id,
+            family,
+            text_hash,
+            admission_wait_nanos,
+            cache_hit: !compiled_fresh.get(),
+            compile_nanos,
+            exec_nanos: 0,
+            rows_out: 0,
+            peak_mem_bytes: observer.peak_mem_bytes(),
+            threads: observer.threads().max(1),
+            vectorized,
+            outcome: QueryOutcome::Ok,
+            spans: Vec::new(),
+        };
+        let (results, prof) = match exec_result {
+            Ok(pair) => pair,
+            Err(err) => {
+                if let Some(outcome) = abort_outcome(&err) {
+                    event.outcome = outcome;
+                    event.peak_mem_bytes = observer.peak_mem_bytes();
+                    event.spans = sink.take();
+                    self.observe_end(text, dataset, event, threshold);
+                }
+                return Err(err.into());
+            }
+        };
         let sols = match results {
             QueryResults::Solutions(s) => s,
             QueryResults::Boolean(_) | QueryResults::Graph(_) => {
@@ -415,8 +620,13 @@ impl PgRdfStore {
                 )))
             }
         };
-        self.observe(text, dataset, &plan, prof.wall_nanos, sols.len() as u64);
+        event.exec_nanos = prof.wall_nanos;
+        event.rows_out = sols.len() as u64;
+        event.peak_mem_bytes = observer.peak_mem_bytes();
+        event.spans = sink.take();
+        self.observe_end(text, dataset, event, threshold);
         let profile = QueryProfile {
+            query_id,
             query: text.to_string(),
             dataset: dataset.to_string(),
             plan: sparql::explain::render(&plan),
@@ -668,6 +878,33 @@ impl PgRdfStore {
             slow_log: Mutex::new(VecDeque::new()),
             governor: Mutex::new(None),
         })
+    }
+}
+
+/// Result-row count of a finished query, as recorded by the flight
+/// recorder (`0` for ASK; quad count for CONSTRUCT).
+fn result_rows(results: &QueryResults) -> u64 {
+    match results {
+        QueryResults::Solutions(s) => s.len() as u64,
+        QueryResults::Boolean(_) => 0,
+        QueryResults::Graph(g) => g.len() as u64,
+    }
+}
+
+/// Maps an execution abort to its recorded terminal outcome. `None`
+/// means the error is not an execution outcome (parse, compile, or
+/// store failure) and the query is not recorded.
+fn abort_outcome(err: &SparqlError) -> Option<QueryOutcome> {
+    match err {
+        SparqlError::Cancelled => Some(QueryOutcome::Cancelled),
+        // The row budget and the memory budget both read as
+        // `memory_exhausted` — the same kind of budget trip; only the
+        // deadline gets its own state.
+        SparqlError::ResourceExhausted(reason) if reason.contains("deadline") => {
+            Some(QueryOutcome::Deadline)
+        }
+        SparqlError::ResourceExhausted(_) => Some(QueryOutcome::MemoryExhausted),
+        _ => None,
     }
 }
 

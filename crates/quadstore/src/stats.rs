@@ -150,6 +150,40 @@ impl StorageReport {
         StorageReport { rows }
     }
 
+    /// [`StorageReport::compute`] against a pinned [`Snapshot`] instead
+    /// of the live store — every row reflects the same MVCC generation,
+    /// which is what the `pgrdf:sys/store` system graph materializes.
+    pub fn compute_at(snapshot: &crate::Snapshot, model_names: &[&str]) -> Self {
+        let mut rows = Vec::new();
+        let mut total_quads = 0usize;
+        for name in model_names {
+            if let Some(model) = snapshot.model(name) {
+                total_quads += model.len();
+                for index in model.indexes() {
+                    rows.push(StorageRow {
+                        object: format!("{} Index ({})", index.kind(), name),
+                        entries: index.len(),
+                        bytes: index.approx_bytes(),
+                    });
+                }
+            }
+        }
+        rows.insert(
+            0,
+            StorageRow {
+                object: "Quads Table".to_string(),
+                entries: total_quads,
+                bytes: total_quads * 32,
+            },
+        );
+        rows.push(StorageRow {
+            object: "Values Table".to_string(),
+            entries: snapshot.dictionary().len(),
+            bytes: snapshot.dictionary().approx_value_bytes(),
+        });
+        StorageReport { rows }
+    }
+
     /// Total estimated bytes across all rows.
     pub fn total_bytes(&self) -> usize {
         self.rows.iter().map(|r| r.bytes).sum()

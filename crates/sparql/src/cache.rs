@@ -42,6 +42,28 @@ struct Entry {
     epoch: u64,
     /// LRU tick of the last hit or insert.
     last_used: u64,
+    /// LRU tick at insert (entry age = current tick − inserted).
+    inserted: u64,
+    /// Lookups served from this entry.
+    hits: u64,
+}
+
+/// A point-in-time description of one live plan-cache entry — the
+/// `pgrdf:sys/plans` system graph materializes these.
+#[derive(Debug, Clone)]
+pub struct PlanCacheEntryInfo {
+    /// Dataset/index signature part of the key.
+    pub dataset: String,
+    /// Query text part of the key.
+    pub text: String,
+    /// Whether the plan was compiled for the vectorized pipeline.
+    pub vectorize: bool,
+    /// Store mutation epoch the plan was compiled under.
+    pub epoch: u64,
+    /// Lookups served from this entry.
+    pub hits: u64,
+    /// Entry age in cache ticks (lookups since insertion).
+    pub age_ticks: u64,
 }
 
 #[derive(Debug, Default)]
@@ -111,6 +133,7 @@ impl PlanCache {
             match inner.map.get_mut(&key) {
                 Some(entry) if entry.epoch == epoch => {
                     entry.last_used = tick;
+                    entry.hits += 1;
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     if telemetry::enabled() {
                         crate::metrics::plan_cache_hits().inc();
@@ -155,10 +178,37 @@ impl PlanCache {
                 }
             }
         }
-        inner
-            .map
-            .insert(key, Entry { plan: Arc::clone(&plan), epoch, last_used: tick });
+        inner.map.insert(
+            key,
+            Entry { plan: Arc::clone(&plan), epoch, last_used: tick, inserted: tick, hits: 0 },
+        );
         Ok(plan)
+    }
+
+    /// Point-in-time descriptions of every live entry, most recently
+    /// used first.
+    pub fn entries(&self) -> Vec<PlanCacheEntryInfo> {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        let tick = inner.tick;
+        let mut out: Vec<(u64, PlanCacheEntryInfo)> = inner
+            .map
+            .iter()
+            .map(|(k, e)| {
+                (
+                    e.last_used,
+                    PlanCacheEntryInfo {
+                        dataset: k.dataset.clone(),
+                        text: k.text.clone(),
+                        vectorize: k.options.vectorize,
+                        epoch: e.epoch,
+                        hits: e.hits,
+                        age_ticks: tick.saturating_sub(e.inserted),
+                    },
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| b.0.cmp(&a.0));
+        out.into_iter().map(|(_, info)| info).collect()
     }
 
     /// Number of cached plans.

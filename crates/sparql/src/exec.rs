@@ -122,6 +122,50 @@ impl CancelToken {
     }
 }
 
+/// A per-query observation channel the flight recorder reads after
+/// execution: peak memory charged, the resolved worker-thread count,
+/// and (optionally) a span sink collecting the query's timeline.
+/// Attach one via [`ExecOptions::with_observer`]; all fields are
+/// written with relaxed atomics so observing a parallel execution
+/// costs nothing measurable.
+#[derive(Debug, Default)]
+pub struct ExecObserver {
+    peak_mem_bytes: AtomicU64,
+    threads: AtomicU64,
+    /// Span sink for the query's trace timeline (`None` = spans are
+    /// not collected; memory/thread observation still happens).
+    pub trace: Option<Arc<telemetry::TraceSink>>,
+}
+
+impl ExecObserver {
+    /// An observer without a span sink.
+    pub fn new() -> ExecObserver {
+        ExecObserver::default()
+    }
+
+    /// An observer that also collects span records into `trace`.
+    pub fn with_trace(trace: Arc<telemetry::TraceSink>) -> ExecObserver {
+        ExecObserver { trace: Some(trace), ..ExecObserver::default() }
+    }
+
+    /// Peak estimated bytes of retained intermediate state seen by
+    /// [`EvalCtx::charge_mem`] (tracked even without a memory budget).
+    pub fn peak_mem_bytes(&self) -> u64 {
+        self.peak_mem_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads the executor resolved to (0 until execution
+    /// starts).
+    pub fn threads(&self) -> u32 {
+        self.threads.load(Ordering::Relaxed) as u32
+    }
+
+    #[inline]
+    fn note_mem(&self, total: u64) {
+        self.peak_mem_bytes.fetch_max(total, Ordering::Relaxed);
+    }
+}
+
 /// Default number of driving-scan rows per morsel.
 pub const DEFAULT_MORSEL_SIZE: usize = 2048;
 
@@ -153,6 +197,9 @@ pub struct ExecOptions {
     /// Rows per column batch in the vectorized pipeline (clamped to at
     /// least 1).
     pub batch_size: usize,
+    /// Optional per-query observer (peak memory, resolved threads,
+    /// span timeline) read by the flight recorder after execution.
+    pub observer: Option<Arc<ExecObserver>>,
 }
 
 impl Default for ExecOptions {
@@ -164,6 +211,7 @@ impl Default for ExecOptions {
             cancel: None,
             vectorize: true,
             batch_size: DEFAULT_BATCH_SIZE,
+            observer: None,
         }
     }
 }
@@ -212,6 +260,12 @@ impl ExecOptions {
     /// Sets the column batch size (clamped to at least 1).
     pub fn with_batch_size(mut self, size: usize) -> Self {
         self.batch_size = size.max(1);
+        self
+    }
+
+    /// Attaches a per-query observer.
+    pub fn with_observer(mut self, observer: Arc<ExecObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 }
@@ -327,6 +381,7 @@ pub struct EvalCtx {
     exhausted: Mutex<Option<(AbortKind, String)>>,
     shared: SharedState,
     profile: Option<Arc<ProfileState>>,
+    observer: Option<Arc<ExecObserver>>,
 }
 
 /// Why an execution was aborted: a resource limit fired, or the user
@@ -386,6 +441,7 @@ impl EvalCtx {
             exhausted: Mutex::new(None),
             shared: SharedState::default(),
             profile: None,
+            observer: None,
         }
     }
 
@@ -425,7 +481,17 @@ impl EvalCtx {
         self.morsel_size = options.morsel_size.max(1);
         self.vectorize = options.vectorize;
         self.batch_size = options.batch_size.max(1);
+        self.observer = options.observer;
+        if let Some(obs) = &self.observer {
+            obs.threads.store(self.threads as u64, Ordering::Relaxed);
+        }
         self
+    }
+
+    /// The attached span sink, if an observer with tracing is present.
+    #[inline]
+    fn trace(&self) -> Option<&telemetry::TraceSink> {
+        self.observer.as_ref().and_then(|o| o.trace.as_deref())
     }
 
     /// Charges `n` produced rows against the limits. Returns `false` once
@@ -498,6 +564,16 @@ impl EvalCtx {
     /// budget is exceeded; a no-op when no budget is configured.
     pub fn charge_mem(&self, bytes: u64) -> bool {
         let Some(max) = self.max_memory else {
+            // No budget to enforce, but an attached observer still wants
+            // the peak; callers batch charges (MEM_CHARGE_CHUNK), so this
+            // costs two relaxed atomics per chunk, not per row.
+            if let Some(obs) = &self.observer {
+                let total = self
+                    .mem_bytes
+                    .fetch_add(bytes, Ordering::Relaxed)
+                    .saturating_add(bytes);
+                obs.note_mem(total);
+            }
             return !self.exhausted_flag.load(Ordering::Relaxed);
         };
         if self.exhausted_flag.load(Ordering::Relaxed) {
@@ -507,6 +583,9 @@ impl EvalCtx {
             .mem_bytes
             .fetch_add(bytes, Ordering::Relaxed)
             .saturating_add(bytes);
+        if let Some(obs) = &self.observer {
+            obs.note_mem(total);
+        }
         if total > max {
             self.exhaust(format!(
                 "memory budget of {max} bytes exceeded (an estimated {total} bytes of \
@@ -522,7 +601,7 @@ impl EvalCtx {
     /// (column batches are freed at morsel boundaries, unlike hash builds
     /// that live for the whole query).
     pub fn release_mem(&self, bytes: u64) {
-        if self.max_memory.is_some() {
+        if self.max_memory.is_some() || self.observer.is_some() {
             self.mem_bytes.fetch_sub(bytes.min(self.mem_bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
         }
     }
@@ -777,12 +856,13 @@ fn execute_with_ctx(ctx: &EvalCtx, compiled: &CompiledQuery) -> Result<QueryResu
     match &compiled.form {
         CForm::Select(sel) => {
             let rows = exec_select(ctx, sel)?;
+            let emit_started = ctx.trace().map(|t| t.now_nanos());
             let slots = sel.projected_slots();
             let vars: Vec<String> = slots
                 .iter()
                 .map(|&s| ctx.vars.name(s).to_string())
                 .collect();
-            let decoded = rows
+            let decoded: Vec<Vec<Option<Term>>> = rows
                 .into_iter()
                 .map(|row| {
                     slots
@@ -791,6 +871,9 @@ fn execute_with_ctx(ctx: &EvalCtx, compiled: &CompiledQuery) -> Result<QueryResu
                         .collect()
                 })
                 .collect();
+            if let (Some(t), Some(started)) = (ctx.trace(), emit_started) {
+                t.record("emit", format!("{} rows", decoded.len()), 0, started);
+            }
             Ok(QueryResults::Solutions(crate::results::Solutions { vars, rows: decoded }))
         }
         CForm::Ask(node) => {
@@ -2034,16 +2117,21 @@ fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>, needed: &[bool]) -> Vec<Row>
     };
     let morsels = ctx.view.plan_morsels(&pattern, ctx.morsel_size);
     let track = telemetry::enabled();
+    let trace = ctx.trace();
     let workers = ctx.threads.min(morsels.len()).max(1);
     if workers <= 1 {
         let mut out = Vec::new();
         let mut claimed = 0u64;
-        for morsel in &morsels {
+        for (i, morsel) in morsels.iter().enumerate() {
             if ctx.is_exhausted() {
                 break;
             }
             claimed += 1;
+            let started = trace.map(|t| t.now_nanos());
             out.extend(run_one(morsel));
+            if let (Some(t), Some(started)) = (trace, started) {
+                t.record("drive", format!("morsel {i}"), 1, started);
+            }
         }
         if track {
             crate::metrics::morsels_claimed().add(claimed);
@@ -2054,8 +2142,12 @@ fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>, needed: &[bool]) -> Vec<Row>
     let mut buckets: Vec<Vec<(usize, Vec<Row>)>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let next = &next;
+                let morsels = &morsels;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    let tid = w as u32 + 1;
                     let busy = track.then(|| crate::metrics::worker_busy_nanos().span());
                     let mut local: Vec<(usize, Vec<Row>)> = Vec::new();
                     let mut claimed = 0u64;
@@ -2065,7 +2157,11 @@ fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>, needed: &[bool]) -> Vec<Row>
                             break;
                         }
                         claimed += 1;
+                        let started = trace.map(|t| t.now_nanos());
                         local.push((i, run_one(&morsels[i])));
+                        if let (Some(t), Some(started)) = (trace, started) {
+                            t.record("drive", format!("morsel {i}"), tid, started);
+                        }
                     }
                     if track {
                         crate::metrics::morsels_claimed().add(claimed);
@@ -2079,9 +2175,14 @@ fn run_morsels(ctx: &EvalCtx, plan: &DrivePlan<'_>, needed: &[bool]) -> Vec<Row>
             buckets.push(handle.join().expect("morsel worker panicked"));
         }
     });
+    let settle_started = trace.map(|t| t.now_nanos());
     let mut indexed: Vec<(usize, Vec<Row>)> = buckets.into_iter().flatten().collect();
     indexed.sort_unstable_by_key(|(i, _)| *i);
-    indexed.into_iter().flat_map(|(_, rows)| rows).collect()
+    let merged: Vec<Row> = indexed.into_iter().flat_map(|(_, rows)| rows).collect();
+    if let (Some(t), Some(started)) = (trace, settle_started) {
+        t.record("settle", format!("{} morsels", morsels.len()), 0, started);
+    }
+    merged
 }
 
 /// Drives one morsel's scan and pushes its rows through the plan stages.
@@ -2868,6 +2969,7 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
             .collect()
     };
     let track = telemetry::enabled();
+    let trace = ctx.trace();
     let workers = ctx.threads.min(tasks.len()).max(1);
     let mut partials: Vec<GroupedPartial> = Vec::new();
     if workers <= 1 {
@@ -2880,7 +2982,11 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
                 break;
             }
             claimed += 1;
+            let started = trace.map(|tr| tr.now_nanos());
             run_task(t, &mut sink, &mut st, &mut vst);
+            if let (Some(tr), Some(started)) = (trace, started) {
+                tr.record("drive", format!("agg morsel {t}"), 1, started);
+            }
         }
         if track {
             crate::metrics::morsels_claimed().add(claimed);
@@ -2890,8 +2996,13 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let next = &next;
+                    let tasks = &tasks;
+                    let run_task = &run_task;
+                    let new_states = &new_states;
+                    scope.spawn(move || {
+                        let tid = w as u32 + 1;
                         let busy = track.then(|| crate::metrics::worker_busy_nanos().span());
                         let mut sink = RunSink::default();
                         let mut st = WalkState::default();
@@ -2903,7 +3014,11 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
                                 break;
                             }
                             claimed += 1;
+                            let started = trace.map(|tr| tr.now_nanos());
                             run_task(t, &mut sink, &mut st, &mut vst);
+                            if let (Some(tr), Some(started)) = (trace, started) {
+                                tr.record("drive", format!("agg morsel {t}"), tid, started);
+                            }
                         }
                         if track {
                             crate::metrics::morsels_claimed().add(claimed);
@@ -2918,9 +3033,13 @@ fn par_grouped(ctx: &EvalCtx, sel: &CSelect) -> Option<GroupedPartial> {
             }
         });
     }
+    let settle_started = trace.map(|t| t.now_nanos());
     let mut merged = partials.pop().unwrap_or_default();
     for part in partials {
         merge_partial(&mut merged, part);
+    }
+    if let (Some(t), Some(started)) = (trace, settle_started) {
+        t.record("settle", format!("{} partials", workers), 0, started);
     }
     Some(merged)
 }

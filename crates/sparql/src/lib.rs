@@ -44,13 +44,13 @@ pub mod results;
 pub mod update;
 
 pub use ast::{Query, Update};
-pub use cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use cache::{PlanCache, PlanCacheEntryInfo, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use error::SparqlError;
 pub use exec::{
     default_max_memory, execute_compiled, execute_compiled_with_limits,
     execute_compiled_with_options, execute_profiled, set_default_max_memory, CancelToken,
-    ExecLimits, ExecOptions, ExecProfile, QueryResults, StepTally, DEFAULT_BATCH_SIZE,
-    DEFAULT_MORSEL_SIZE,
+    ExecLimits, ExecObserver, ExecOptions, ExecProfile, QueryResults, StepTally,
+    DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
 };
 pub use parser::{parse_query, parse_update};
 pub use plan::{compile, compile_with, CompileOptions, CompiledQuery, ForcedJoin};

@@ -60,6 +60,10 @@ impl StepProfile {
 /// external dependencies.
 #[derive(Debug, Clone)]
 pub struct QueryProfile {
+    /// Process-unique query id — joins this profile against the flight
+    /// recorder (`pgrdf:sys/queries`), the slow-query log, and trace
+    /// export.
+    pub query_id: u64,
     /// The query text as submitted.
     pub query: String,
     /// The dataset (model or virtual model) it ran against.
@@ -86,10 +90,12 @@ impl QueryProfile {
         let steps: Vec<String> = self.steps.iter().map(|s| s.to_json()).collect();
         format!(
             concat!(
-                "{{\"query\": \"{}\", \"dataset\": \"{}\", \"cache_hit\": {}, ",
+                "{{\"query_id\": {}, \"query\": \"{}\", \"dataset\": \"{}\", ",
+                "\"cache_hit\": {}, ",
                 "\"compile_nanos\": {}, \"wall_nanos\": {}, \"result_rows\": {}, ",
                 "\"plan\": \"{}\", \"analyze\": \"{}\", \"steps\": [{}]}}"
             ),
+            self.query_id,
             escape(&self.query),
             escape(&self.dataset),
             self.cache_hit,
@@ -110,6 +116,7 @@ mod tests {
     #[test]
     fn profile_json_escapes_and_nests() {
         let profile = QueryProfile {
+            query_id: 12,
             query: "SELECT ?v WHERE { ?v \"x\" ?o }".into(),
             dataset: "node_kv".into(),
             plan: "1: line\n".into(),

@@ -30,6 +30,13 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
+
+pub use flight::{
+    flight_recorder, fnv1a64, next_query_id, render_chrome_trace, FlightRecorder, QueryEvent,
+    QueryOutcome, SpanRecord, TraceSink, DEFAULT_FLIGHT_CAPACITY,
+};
+
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -315,20 +322,75 @@ struct Entry {
     handle: Handle,
 }
 
+/// Escapes a `# HELP` line per the Prometheus exposition format:
+/// backslash and newline only.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the Prometheus exposition format:
+/// backslash, double quote, and newline.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
 impl Entry {
     fn series(&self) -> String {
         match &self.label {
             None => self.family.clone(),
-            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.family, k, v),
+            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.family, k, escape_label_value(v)),
         }
     }
 
     fn bucket_series(&self, le: &str) -> String {
         match &self.label {
             None => format!("{}_bucket{{le=\"{}\"}}", self.family, le),
-            Some((k, v)) => format!("{}_bucket{{{}=\"{}\",le=\"{}\"}}", self.family, k, v, le),
+            Some((k, v)) => format!(
+                "{}_bucket{{{}=\"{}\",le=\"{}\"}}",
+                self.family,
+                k,
+                escape_label_value(v),
+                le
+            ),
         }
     }
+}
+
+/// The current value of one metric series in a
+/// [`MetricsRegistry::samples`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram summary: observation count, sum, and estimated
+    /// percentiles.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// Estimated median.
+        p50: u64,
+        /// Estimated 95th percentile.
+        p95: u64,
+        /// Estimated 99th percentile.
+        p99: u64,
+    },
+}
+
+/// One metric series (family + optional label) with its current value.
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric family name.
+    pub name: String,
+    /// Optional `(key, value)` label pair.
+    pub label: Option<(String, String)>,
+    /// Help text.
+    pub help: String,
+    /// Current value.
+    pub value: MetricValue,
 }
 
 /// A named collection of metrics with get-or-register semantics and
@@ -431,22 +493,56 @@ impl MetricsRegistry {
         }
     }
 
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// family name then label — the structured twin of
+    /// [`MetricsRegistry::render_prometheus`], used to materialize the
+    /// `pgrdf:sys/metrics` system graph.
+    pub fn samples(&self) -> Vec<MetricSample> {
+        let entries = self.entries.lock().expect("metrics registry poisoned").clone();
+        let mut samples: Vec<MetricSample> = entries
+            .iter()
+            .map(|e| MetricSample {
+                name: e.family.clone(),
+                label: e.label.clone(),
+                help: e.help.clone(),
+                value: match &e.handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.get()),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Handle::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        p50: h.p50(),
+                        p95: h.p95(),
+                        p99: h.p99(),
+                    },
+                },
+            })
+            .collect();
+        samples.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        samples
+    }
+
     /// Renders every registered metric in the Prometheus text exposition
     /// format (`# HELP` / `# TYPE` per family, cumulative `_bucket`
     /// series with `le` bounds plus `_sum`/`_count` for histograms).
+    /// Series are sorted by family then label so families stay
+    /// contiguous (the format requires one uninterrupted block per
+    /// family) and output is stable across registration orders; HELP
+    /// text and label values are escaped per the exposition format.
     pub fn render_prometheus(&self) -> String {
-        let entries = self.entries.lock().expect("metrics registry poisoned").clone();
+        let mut entries = self.entries.lock().expect("metrics registry poisoned").clone();
+        entries.sort_by(|a, b| (&a.family, &a.label).cmp(&(&b.family, &b.label)));
         let mut out = String::new();
-        let mut seen_family: Vec<String> = Vec::new();
+        let mut seen_family: Option<String> = None;
         for e in &entries {
-            if !seen_family.iter().any(|f| *f == e.family) {
-                seen_family.push(e.family.clone());
+            if seen_family.as_deref() != Some(e.family.as_str()) {
+                seen_family = Some(e.family.clone());
                 let kind = match e.handle {
                     Handle::Counter(_) => "counter",
                     Handle::Gauge(_) => "gauge",
                     Handle::Histogram(_) => "histogram",
                 };
-                out.push_str(&format!("# HELP {} {}\n", e.family, e.help));
+                out.push_str(&format!("# HELP {} {}\n", e.family, escape_help(&e.help)));
                 out.push_str(&format!("# TYPE {} {}\n", e.family, kind));
             }
             match &e.handle {
@@ -477,10 +573,13 @@ impl MetricsRegistry {
                     }
                     let (sum_series, count_series) = match &e.label {
                         None => (format!("{}_sum", e.family), format!("{}_count", e.family)),
-                        Some((k, v)) => (
-                            format!("{}_sum{{{}=\"{}\"}}", e.family, k, v),
-                            format!("{}_count{{{}=\"{}\"}}", e.family, k, v),
-                        ),
+                        Some((k, v)) => {
+                            let v = escape_label_value(v);
+                            (
+                                format!("{}_sum{{{}=\"{}\"}}", e.family, k, v),
+                                format!("{}_count{{{}=\"{}\"}}", e.family, k, v),
+                            )
+                        }
                     };
                     out.push_str(&format!("{} {}\n", sum_series, h.sum()));
                     out.push_str(&format!("{} {}\n", count_series, h.count()));
@@ -654,6 +753,68 @@ mod tests {
         assert!(text.contains("c_nanos_count 3"));
         assert!(text.contains("c_nanos_sum 203"));
         assert!(text.contains("le=\"+Inf\"") && text.ends_with('\n'));
+    }
+
+    #[test]
+    fn prometheus_escapes_help_and_label_values() {
+        let reg = MetricsRegistry::new();
+        reg.counter("esc_total", "line one\nline \\two").inc();
+        reg.counter_with("lab_total", "q", "he said \"hi\\bye\"\nend", "labelled").add(4);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# HELP esc_total line one\\nline \\\\two"),
+            "HELP must escape newline and backslash: {text}"
+        );
+        assert!(
+            text.contains("lab_total{q=\"he said \\\"hi\\\\bye\\\"\\nend\"} 4"),
+            "label values must escape quote, backslash, newline: {text}"
+        );
+        // Escaped output stays single-line per series.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
+        assert_eq!(text.lines().count(), 6, "2 families x (HELP+TYPE+series): {text}");
+    }
+
+    #[test]
+    fn prometheus_families_stay_contiguous_regardless_of_registration_order() {
+        let reg = MetricsRegistry::new();
+        // Interleave registrations of two labelled families.
+        reg.counter_with("a_total", "k", "2", "a").inc();
+        reg.counter_with("b_total", "k", "1", "b").inc();
+        reg.counter_with("a_total", "k", "1", "a").inc();
+        let text = reg.render_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let a_lines: Vec<usize> = (0..lines.len()).filter(|&i| lines[i].contains("a_total")).collect();
+        assert_eq!(a_lines, vec![0, 1, 2, 3], "family a must form one block: {text}");
+        // Stable ordering: labels sorted within the family.
+        let a1 = text.find("a_total{k=\"1\"}").unwrap();
+        let a2 = text.find("a_total{k=\"2\"}").unwrap();
+        assert!(a1 < a2, "series must be label-sorted: {text}");
+        // A second render is byte-identical.
+        assert_eq!(text, reg.render_prometheus());
+    }
+
+    #[test]
+    fn samples_snapshot_matches_handles() {
+        let reg = MetricsRegistry::new();
+        reg.counter("s_total", "c").add(7);
+        reg.gauge("s_current", "g").set(-3);
+        let h = reg.histogram("s_nanos", "h");
+        h.record(100);
+        h.record(200);
+        let samples = reg.samples();
+        assert_eq!(samples.len(), 3);
+        // Sorted by name: s_current, s_nanos, s_total.
+        assert_eq!(samples[0].name, "s_current");
+        assert_eq!(samples[0].value, MetricValue::Gauge(-3));
+        match &samples[1].value {
+            MetricValue::Histogram { count, sum, .. } => {
+                assert_eq!((*count, *sum), (2, 300));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(samples[2].value, MetricValue::Counter(7));
     }
 
     #[test]

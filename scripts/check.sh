@@ -26,8 +26,9 @@ cargo test --release -q --test vectorized_equivalence
 
 # Bench harness smoke run: every section (including the PR2
 # parallel/plan-cache artifact, the PR3 snapshot-isolated read scaling
-# artifact, the PR4 operator-profile artifact, and the PR8 vectorized
-# vs row artifact) must complete on a small fixture.
+# artifact, the PR4 operator-profile artifact, the PR8 vectorized vs
+# row artifact, and the PR9 flight-recorder/system-view artifact) must
+# complete on a small fixture.
 cargo run --release -q --bin repro -- --scale 0.01
 
 # Telemetry overhead guard: the EQ1-EQ5 batch with engine counters
@@ -51,3 +52,9 @@ cargo run --release -q --bin repro -- --scale 0.01 governor
 # (per-query best-of-5 alternating rounds; exits non-zero past the
 # budget).
 cargo run --release -q --bin repro -- --scale 0.01 vecguard
+
+# Flight-recorder overhead guard: the recorder is on by default, so the
+# EQ1-EQ5 batch with it recording must cost at most 5% more wall time
+# than with it off (best-of-5 paired rounds; exits non-zero past the
+# budget).
+cargo run --release -q --bin repro -- --scale 0.01 flightguard

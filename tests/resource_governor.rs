@@ -171,6 +171,11 @@ fn admission_control_sheds_under_sixteen_clients() {
         queue_timeout: Duration::from_millis(1),
         ..GovernorConfig::default()
     });
+    // Hold the only execution slot through the start of the burst so the
+    // 16-client collision is deterministic instead of a scheduling race:
+    // while the slot is busy, the single queue seat fills and every other
+    // arrival sheds. Released as soon as the first shed is observed.
+    let warm = governor.admit(1).expect("pre-burst slot hold");
     governor.reset_stats();
 
     const CLIENTS: usize = 16;
@@ -201,6 +206,13 @@ fn admission_control_sheds_under_sixteen_clients() {
             })
         })
         .collect();
+    let burst_started = Instant::now();
+    while shed.load(Ordering::Relaxed) == 0
+        && burst_started.elapsed() < Duration::from_secs(5)
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    drop(warm);
     for w in workers {
         w.join().unwrap();
     }
@@ -338,4 +350,75 @@ fn fsync_storm_degrades_to_read_only_and_recovers_without_losing_acks() {
     assert!(!present(120) && !present(999), "un-acked quads must not reappear");
     drop(reopened);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Aborted queries in the observability surfaces
+// ---------------------------------------------------------------------
+
+/// Regression: the slow-query log and the flight recorder must retain
+/// aborted queries — cancelled, budget-tripped, and shed — not only the
+/// ones that finished. The threshold is set absurdly high, so nothing
+/// below lands in the log for *being slow*; every entry is there because
+/// it aborted, and each carries a query id that joins against the flight
+/// recorder with the same outcome.
+#[test]
+fn aborted_queries_are_recorded_with_their_outcome() {
+    let store =
+        PgRdfStore::load(&PropertyGraph::sample_figure1(), PgRdfModel::NG).expect("load");
+    let dataset = store.dataset_name();
+    store.set_slow_query_threshold(u64::MAX);
+
+    // A fast successful query does not qualify.
+    store
+        .select("PREFIX key: <http://pg/k/> SELECT ?v WHERE { ?v key:age ?a }")
+        .expect("ok query");
+    assert!(store.slow_queries().is_empty(), "fast ok queries must not land in the log");
+
+    let cross = "SELECT ?a ?b ?c WHERE { ?a ?p ?x . ?b ?q ?y . ?c ?r ?z }";
+
+    // Cancelled before submission: aborts at the first periodic check.
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = store.select_cancellable(&dataset, cross, ExecOptions::default(), &token);
+    assert!(matches!(cancelled, Err(CoreError::Sparql(SparqlError::Cancelled))));
+
+    // Budget trip (row budget reads as `memory_exhausted`).
+    let exhausted = store.select_in_with(
+        &dataset,
+        cross,
+        ExecOptions::default().with_limits(ExecLimits::rows(10)),
+    );
+    assert!(matches!(exhausted, Err(CoreError::Sparql(SparqlError::ResourceExhausted(_)))));
+
+    // Shed: the only execution slot is held and there is no queue seat,
+    // so the next arrival is rejected before doing any work.
+    let governor = store.set_governor(GovernorConfig {
+        max_concurrent: 1,
+        max_queue: 0,
+        queue_timeout: Duration::from_millis(1),
+        ..GovernorConfig::default()
+    });
+    let slot = governor.admit(1).expect("occupy the only slot");
+    let shed = store.select_in(&dataset, cross);
+    assert!(matches!(shed, Err(CoreError::Overloaded(_))), "expected shed, got {shed:?}");
+    drop(slot);
+    store.clear_governor();
+
+    let log = store.slow_queries();
+    let outcomes: Vec<&str> = log.iter().map(|e| e.outcome).collect();
+    assert_eq!(
+        outcomes,
+        ["cancelled", "memory_exhausted", "shed"],
+        "three aborts, three entries, in submission order: {log:?}"
+    );
+    for entry in &log {
+        assert!(entry.query_id > 0, "aborted entries still get ids");
+        let event = telemetry::flight_recorder()
+            .find(entry.query_id)
+            .unwrap_or_else(|| panic!("flight recorder lost query {}", entry.query_id));
+        assert_eq!(event.outcome.as_str(), entry.outcome);
+        // Armed log + abort ⇒ the span timeline was kept for post-mortem.
+        assert!(!event.spans.is_empty(), "{}: spans dropped", entry.outcome);
+    }
 }
