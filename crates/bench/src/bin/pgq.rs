@@ -68,6 +68,8 @@ struct Args {
     memory_limit: Option<u64>,
     max_concurrent: usize,
     no_vectorize: bool,
+    no_cbo: bool,
+    explain_logical: bool,
     sys: Option<String>,
     trace_out: Option<String>,
     query: Option<String>,
@@ -77,9 +79,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: pgq [--graph FILE.tsv | --snap DIR | --demo | --generate SCALE --out FILE]\n\
          \x20          [--model ng|sp|rf] [--partitioned] [--json] [--explain]\n\
-         \x20          [--profile] [--metrics] [--sys SPARQL] [--trace-out FILE]\n\
-         \x20          [--timeout SECS] [--memory-limit BYTES[k|m|g]] [--max-concurrent N]\n\
-         \x20          [--no-vectorize] [--workers N] [--replay FILE.rq] [--repeat N] [QUERY|-]\n\
+         \x20          [--explain-logical] [--profile] [--metrics] [--sys SPARQL]\n\
+         \x20          [--trace-out FILE] [--timeout SECS] [--memory-limit BYTES[k|m|g]]\n\
+         \x20          [--max-concurrent N] [--no-vectorize] [--no-cbo] [--workers N]\n\
+         \x20          [--replay FILE.rq] [--repeat N] [QUERY|-]\n\
          \n\
          system graphs (--sys, or any query naming them; PREFIX sys: <pgrdf:sys#>):\n\
          \x20 <pgrdf:sys/queries>  flight recorder — per query: sys:queryId sys:family\n\
@@ -92,7 +95,8 @@ fn usage() -> ! {
          \x20                      sys:value (counter/gauge) or sys:count sys:sum\n\
          \x20                      sys:p50 sys:p95 sys:p99 (histogram)\n\
          \x20 <pgrdf:sys/plans>    plan cache — per entry: sys:dataset sys:text\n\
-         \x20                      sys:vectorized sys:epoch sys:hits sys:ageTicks;\n\
+         \x20                      sys:vectorized sys:epoch sys:statsVersion sys:hits\n\
+         \x20                      sys:ageTicks sys:estimatedRows sys:actualRows;\n\
          \x20                      cache-wide counters under <pgrdf:sys/plancache>\n\
          \x20 <pgrdf:sys/store>    storage — per object: sys:object sys:entries\n\
          \x20                      sys:bytes; totals under <pgrdf:sys/store>\n\
@@ -154,7 +158,8 @@ fn exec_options(args: &Args) -> sparql::ExecOptions {
     }
     limits.max_memory = args.memory_limit;
     let options = sparql::ExecOptions { limits, ..Default::default() }
-        .with_vectorize(!args.no_vectorize);
+        .with_vectorize(!args.no_vectorize)
+        .with_use_cbo(!args.no_cbo);
     match CANCEL.get() {
         Some(token) => options.with_cancel(token.clone()),
         None => options,
@@ -181,6 +186,8 @@ fn parse_args() -> Args {
         memory_limit: None,
         max_concurrent: 0,
         no_vectorize: false,
+        no_cbo: false,
+        explain_logical: false,
         sys: None,
         trace_out: None,
         query: None,
@@ -230,6 +237,10 @@ fn parse_args() -> Args {
             // Force the row-at-a-time reference pipeline (the vectorized
             // columnar pipeline is the default).
             "--no-vectorize" => args.no_vectorize = true,
+            // Fall back to the heuristic greedy join planner (the
+            // statistics-driven cost-based optimizer is the default).
+            "--no-cbo" => args.no_cbo = true,
+            "--explain-logical" => args.explain_logical = true,
             "--sys" => args.sys = Some(argv.next().unwrap_or_else(|| usage())),
             "--trace-out" => {
                 args.trace_out = Some(argv.next().unwrap_or_else(|| usage()))
@@ -365,6 +376,14 @@ fn main() {
         }
         None => usage(),
     };
+
+    if args.explain_logical {
+        match store.explain_logical(&query) {
+            Ok(plan) => println!("{plan}"),
+            Err(e) => fail(&format!("explain-logical: {e}")),
+        }
+        return;
+    }
 
     if args.explain {
         match store.explain(&query) {

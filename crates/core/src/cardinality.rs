@@ -136,39 +136,15 @@ pub fn measure(quads: &[Quad], vocab: &PgVocab) -> RdfCardinalities {
 }
 
 /// Resource-count measurements for Table 8 (distinct subjects, predicates,
-/// objects, named graphs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ResourceCounts {
-    /// Distinct subjects.
-    pub subjects: usize,
-    /// Distinct predicates.
-    pub predicates: usize,
-    /// Distinct objects.
-    pub objects: usize,
-    /// Distinct named graphs.
-    pub named_graphs: usize,
-}
+/// objects, named graphs). Re-exported from the quadstore statistics
+/// layer, which owns the one distinct-counting code path shared with the
+/// optimizer's [`quadstore::CboStats`].
+pub use quadstore::ResourceCounts;
 
-/// Measures Table 8 resource counts over a quad set.
+/// Measures Table 8 resource counts over a quad set (delegates to
+/// [`quadstore::resource_counts`]).
 pub fn resource_counts(quads: &[Quad]) -> ResourceCounts {
-    let mut subjects = BTreeSet::new();
-    let mut predicates = BTreeSet::new();
-    let mut objects = BTreeSet::new();
-    let mut graphs = BTreeSet::new();
-    for quad in quads {
-        subjects.insert(&quad.subject);
-        predicates.insert(&quad.predicate);
-        objects.insert(&quad.object);
-        if let GraphName::Named(g) = &quad.graph {
-            graphs.insert(g);
-        }
-    }
-    ResourceCounts {
-        subjects: subjects.len(),
-        predicates: predicates.len(),
-        objects: objects.len(),
-        named_graphs: graphs.len(),
-    }
+    quadstore::resource_counts(quads)
 }
 
 /// Predicted Table 8 counts: the paper's decomposition

@@ -321,14 +321,20 @@ impl PgRdfStore {
         // signature: plans bake index choices into their access paths.
         let key = format!("{dataset}={}", view.index_signature());
         let copts =
-            sparql::CompileOptions { vectorize: options.vectorize, ..Default::default() };
+            sparql::CompileOptions {
+                vectorize: options.vectorize,
+                use_cbo: options.use_cbo,
+                ..Default::default()
+            };
         let plan = self
             .plan_cache
-            .get_or_compile(&key, text, copts, snapshot.epoch(), || {
+            .get_or_compile(&key, text, copts, snapshot.epoch(), || view.stats_version(), || {
                 let parsed = sparql::parse_query(text)?;
                 sparql::compile_with(&view, &parsed, copts)
             })?;
-        Ok(sparql::execute_compiled_with_options(&view, &plan, options)?)
+        let results = sparql::execute_compiled_with_options(&view, &plan, options)?;
+        self.plan_cache.note_result(&key, text, copts, result_rows(&results));
+        Ok(results)
     }
 
     /// The instrumented twin of the fast path: same admission, plan
@@ -388,13 +394,17 @@ impl PgRdfStore {
         let view = snapshot.dataset(dataset)?;
         let key = format!("{dataset}={}", view.index_signature());
         let copts =
-            sparql::CompileOptions { vectorize: options.vectorize, ..Default::default() };
+            sparql::CompileOptions {
+                vectorize: options.vectorize,
+                use_cbo: options.use_cbo,
+                ..Default::default()
+            };
         let compiled_fresh = std::cell::Cell::new(false);
         let compile_t0 = sink.as_ref().map(|s| s.now_nanos());
         let compile_start = Instant::now();
         let plan = self
             .plan_cache
-            .get_or_compile(&key, text, copts, snapshot.epoch(), || {
+            .get_or_compile(&key, text, copts, snapshot.epoch(), || view.stats_version(), || {
                 compiled_fresh.set(true);
                 let parsed = sparql::parse_query(text)?;
                 sparql::compile_with(&view, &parsed, copts)
@@ -421,7 +431,10 @@ impl PgRdfStore {
         );
         let exec_nanos = exec_start.elapsed().as_nanos() as u64;
         let (outcome, rows_out) = match &result {
-            Ok(results) => (QueryOutcome::Ok, result_rows(results)),
+            Ok(results) => {
+                self.plan_cache.note_result(&key, text, copts, result_rows(results));
+                (QueryOutcome::Ok, result_rows(results))
+            }
             Err(err) => match abort_outcome(err) {
                 Some(outcome) => (outcome, 0),
                 // Not an execution outcome (unsupported feature, store
@@ -559,13 +572,17 @@ impl PgRdfStore {
         let view = snapshot.dataset(dataset)?;
         let key = format!("{dataset}={}", view.index_signature());
         let copts =
-            sparql::CompileOptions { vectorize: options.vectorize, ..Default::default() };
+            sparql::CompileOptions {
+                vectorize: options.vectorize,
+                use_cbo: options.use_cbo,
+                ..Default::default()
+            };
         let compiled_fresh = std::cell::Cell::new(false);
         let compile_t0 = sink.now_nanos();
         let compile_start = Instant::now();
         let plan = self
             .plan_cache
-            .get_or_compile(&key, text, copts, snapshot.epoch(), || {
+            .get_or_compile(&key, text, copts, snapshot.epoch(), || view.stats_version(), || {
                 compiled_fresh.set(true);
                 let parsed = sparql::parse_query(text)?;
                 sparql::compile_with(&view, &parsed, copts)
@@ -620,6 +637,7 @@ impl PgRdfStore {
                 )))
             }
         };
+        self.plan_cache.note_result(&key, text, copts, sols.len() as u64);
         event.exec_nanos = prof.wall_nanos;
         event.rows_out = sols.len() as u64;
         event.peak_mem_bytes = observer.peak_mem_bytes();
@@ -727,6 +745,26 @@ impl PgRdfStore {
     /// Renders the query plan (Table 5 analogue).
     pub fn explain(&self, text: &str) -> Result<String, CoreError> {
         Ok(sparql::explain_query(&self.store, &self.dataset_name(), text)?)
+    }
+
+    /// Renders the rewritten logical plan — the optimizer's intermediate
+    /// algebra plus the rewrite rules that fired (`pgq --explain-logical`).
+    pub fn explain_logical(&self, text: &str) -> Result<String, CoreError> {
+        Ok(sparql::explain_logical_query(&self.store, &self.dataset_name(), text)?)
+    }
+
+    /// `ANALYZE`: recomputes the optimizer statistics of every member
+    /// model from current data. DML refreshes stats automatically once
+    /// quad-count drift passes the rebuild threshold; this forces it now.
+    /// Moves the stats version *without* bumping the mutation epoch, so
+    /// cached plans costed under the old statistics are invalidated on
+    /// their next lookup while everything else stays cached.
+    pub fn refresh_stats(&self) -> Result<(), CoreError> {
+        let view = self.store.dataset(&self.dataset_name())?;
+        for model in view.members() {
+            model.refresh_cbo_stats();
+        }
+        Ok(())
     }
 
     /// A query builder for this store's model and vocabulary.

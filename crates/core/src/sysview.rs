@@ -141,8 +141,13 @@ fn plan_quads(quads: &mut Vec<Quad>, store: &PgRdfStore) {
         push(quads, g, &s, "text", Term::string(&entry.text));
         push(quads, g, &s, "vectorized", bool_t(entry.vectorize));
         push(quads, g, &s, "epoch", int_t(entry.epoch));
+        push(quads, g, &s, "statsVersion", int_t(entry.stats));
         push(quads, g, &s, "hits", int_t(entry.hits));
         push(quads, g, &s, "ageTicks", int_t(entry.age_ticks));
+        push(quads, g, &s, "estimatedRows", int_t(entry.estimated_rows));
+        if let Some(actual) = entry.actual_rows {
+            push(quads, g, &s, "actualRows", int_t(actual));
+        }
     }
 }
 

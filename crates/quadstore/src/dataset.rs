@@ -86,6 +86,26 @@ impl DatasetView {
         self.members.iter().map(|m| m.name()).collect()
     }
 
+    /// The member models themselves, in view order. The cost-based
+    /// optimizer walks these to pair each member's exact range estimates
+    /// with its [`SemanticModel::cbo_stats`] snapshot.
+    pub fn members(&self) -> &[Arc<SemanticModel>] {
+        &self.members
+    }
+
+    /// A combined statistics-version fingerprint over the members. Plan
+    /// caches fold this into their validation key: an `ANALYZE` or a
+    /// drift-triggered refresh bumps it without bumping the mutation
+    /// epoch, evicting plans whose join order was chosen under the old
+    /// statistics.
+    pub fn stats_version(&self) -> u64 {
+        let mut v: u64 = 0;
+        for m in &self.members {
+            v = v.wrapping_mul(1_000_003).wrapping_add(m.cbo_version());
+        }
+        v
+    }
+
     /// Total visible quads across members.
     pub fn len(&self) -> usize {
         self.members.iter().map(|m| m.len()).sum()

@@ -43,6 +43,9 @@ pub use ids::{EncodedQuad, GraphConstraint, QuadPattern};
 pub use index::{Component, IndexKind, SortedIndex};
 pub use model::{AccessPath, SemanticModel};
 pub use persist::{recover_from_dir, Recovered};
-pub use stats::{ModelStats, StorageReport, StorageRow};
+pub use stats::{
+    resource_counts, CboStats, EquiDepthHistogram, ModelStats, PredicateStat, ResourceCounts,
+    StatsCell, StorageReport, StorageRow, CBO_DRIFT_THRESHOLD,
+};
 pub use store::{Snapshot, Store, WriteBatch};
 pub use wal::{crc32, scan_wal, WalRecord, WalScan};

@@ -13,6 +13,7 @@ use std::sync::{Arc, OnceLock};
 use crate::error::StoreError;
 use crate::ids::{EncodedQuad, QuadPattern, G, O, P, S};
 use crate::index::{IndexKind, SortedIndex};
+use crate::stats::{CboStats, StatsCell};
 
 /// Decision record of which access path a scan used; surfaces in the
 /// SPARQL `EXPLAIN` output (Table 5 analogue).
@@ -87,6 +88,11 @@ pub struct SemanticModel {
     /// reset by any mutation. Thread-safe so concurrent query workers can
     /// share the model by reference.
     distinct_cache: OnceLock<[usize; 4]>,
+    /// Optimizer statistics, `Arc`-shared across MVCC generations (every
+    /// copy-on-write clone of this model keeps the same cell), refreshed
+    /// on drift rather than reset on every mutation — see
+    /// [`crate::stats::StatsCell`].
+    cbo_cell: Arc<StatsCell>,
 }
 
 impl SemanticModel {
@@ -109,6 +115,7 @@ impl SemanticModel {
             delta_removed: BTreeSet::new(),
             base_len: 0,
             distinct_cache: OnceLock::new(),
+            cbo_cell: Arc::new(StatsCell::default()),
         })
     }
 
@@ -507,6 +514,37 @@ impl SemanticModel {
             }
             [sets[S].len(), sets[P].len(), sets[O].len(), sets[G].len()]
         })
+    }
+
+    /// The optimizer-statistics snapshot for this model: the pinned one
+    /// if it has not drifted past [`crate::stats::CBO_DRIFT_THRESHOLD`],
+    /// else freshly computed (one pass) and pinned. The cell is shared
+    /// across MVCC generations, so the cost of computing is paid once per
+    /// drift window, not per snapshot.
+    pub fn cbo_stats(&self) -> Arc<CboStats> {
+        self.cbo_cell.get_or_compute(self.len(), self.iter_all())
+    }
+
+    /// Unconditionally recomputes and pins fresh optimizer statistics
+    /// (the `ANALYZE` entry point). Does **not** bump the store's
+    /// mutation epoch — plan caches detect the refresh through
+    /// [`Self::cbo_version`] instead.
+    pub fn refresh_cbo_stats(&self) -> Arc<CboStats> {
+        self.cbo_cell.refresh(self.iter_all())
+    }
+
+    /// Refreshes optimizer statistics only if they were ever computed and
+    /// have drifted — the maintenance hook [`crate::WriteBatch::commit`]
+    /// calls at publish.
+    pub fn maybe_refresh_cbo_stats(&self) {
+        self.cbo_cell
+            .refresh_if_drifted(self.len(), || self.iter_all().collect());
+    }
+
+    /// The statistics refresh counter (`0` = never computed); part of the
+    /// plan-cache validation key.
+    pub fn cbo_version(&self) -> u64 {
+        self.cbo_cell.version()
     }
 }
 

@@ -705,6 +705,14 @@ impl WriteBatch<'_> {
             return;
         }
         state.epoch += bumps;
+        // Statistics maintenance rides the publish path: any model whose
+        // optimizer stats were ever computed and have drifted past the
+        // threshold gets a fresh one-pass snapshot here, so readers always
+        // plan against statistics at most one drift window stale. Models
+        // nobody ever planned against pay nothing.
+        for model in models.values() {
+            model.maybe_refresh_cbo_stats();
+        }
         let gen = Arc::new(Gen {
             epoch: state.epoch,
             dict: state.dict.freeze(),

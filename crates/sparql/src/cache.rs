@@ -40,12 +40,16 @@ struct Entry {
     plan: Arc<CompiledQuery>,
     /// Store mutation epoch the plan was compiled under.
     epoch: u64,
+    /// Optimizer statistics version the plan was costed under.
+    stats: u64,
     /// LRU tick of the last hit or insert.
     last_used: u64,
     /// LRU tick at insert (entry age = current tick − inserted).
     inserted: u64,
     /// Lookups served from this entry.
     hits: u64,
+    /// Rows produced by the most recent execution of this plan.
+    actual_rows: Option<u64>,
 }
 
 /// A point-in-time description of one live plan-cache entry — the
@@ -60,10 +64,16 @@ pub struct PlanCacheEntryInfo {
     pub vectorize: bool,
     /// Store mutation epoch the plan was compiled under.
     pub epoch: u64,
+    /// Optimizer statistics version the plan was costed under.
+    pub stats: u64,
     /// Lookups served from this entry.
     pub hits: u64,
     /// Entry age in cache ticks (lookups since insertion).
     pub age_ticks: u64,
+    /// The optimizer's final-row estimate for the plan.
+    pub estimated_rows: u64,
+    /// Rows produced by the most recent execution (`None` = never run).
+    pub actual_rows: Option<u64>,
 }
 
 #[derive(Debug, Default)]
@@ -105,8 +115,17 @@ impl PlanCache {
     }
 
     /// Returns the cached plan for `(dataset, text, options)` if one
-    /// exists *and* was compiled under the current `epoch`; otherwise
-    /// runs `compile`, caches its result under `epoch`, and returns it.
+    /// exists *and* was compiled under the current `epoch` *and* the
+    /// optimizer statistics it was costed against are still current
+    /// (`stats_version`); otherwise runs `compile`, caches its result
+    /// under `epoch` and the post-compile stats version, and returns it.
+    ///
+    /// `stats_version` is a closure so the (cheap but non-free) version
+    /// computation only happens when an entry actually exists at the
+    /// current epoch — the epoch check already subsumes it otherwise,
+    /// since every mutation that can move stats also bumps the epoch.
+    /// An explicit `ANALYZE`-style stats refresh moves the stats version
+    /// *without* touching the epoch, and this check catches exactly that.
     ///
     /// A present-but-stale entry counts as an **invalidation** (and a
     /// miss); the stale plan is dropped before recompiling. `compile`
@@ -119,6 +138,7 @@ impl PlanCache {
         text: &str,
         options: CompileOptions,
         epoch: u64,
+        stats_version: impl Fn() -> u64,
         compile: impl FnOnce() -> Result<CompiledQuery, SparqlError>,
     ) -> Result<Arc<CompiledQuery>, SparqlError> {
         let key = CacheKey {
@@ -131,7 +151,7 @@ impl PlanCache {
             inner.tick += 1;
             let tick = inner.tick;
             match inner.map.get_mut(&key) {
-                Some(entry) if entry.epoch == epoch => {
+                Some(entry) if entry.epoch == epoch && entry.stats == stats_version() => {
                     entry.last_used = tick;
                     entry.hits += 1;
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -161,6 +181,7 @@ impl PlanCache {
         let span = telemetry::enabled().then(|| crate::metrics::compile_nanos().span());
         let plan = Arc::new(compile()?);
         drop(span);
+        let stats = stats_version();
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -180,9 +201,33 @@ impl PlanCache {
         }
         inner.map.insert(
             key,
-            Entry { plan: Arc::clone(&plan), epoch, last_used: tick, inserted: tick, hits: 0 },
+            Entry {
+                plan: Arc::clone(&plan),
+                epoch,
+                stats,
+                last_used: tick,
+                inserted: tick,
+                hits: 0,
+                actual_rows: None,
+            },
         );
         Ok(plan)
+    }
+
+    /// Records the actual row count of an execution against the cached
+    /// entry for `(dataset, text, options)`, so `pgrdf:sys/plans` can
+    /// report estimated-vs-actual rows per plan. A no-op if the entry has
+    /// since been evicted or invalidated.
+    pub fn note_result(&self, dataset: &str, text: &str, options: CompileOptions, rows: u64) {
+        let key = CacheKey {
+            dataset: dataset.to_string(),
+            text: text.to_string(),
+            options,
+        };
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.actual_rows = Some(rows);
+        }
     }
 
     /// Point-in-time descriptions of every live entry, most recently
@@ -201,8 +246,11 @@ impl PlanCache {
                         text: k.text.clone(),
                         vectorize: k.options.vectorize,
                         epoch: e.epoch,
+                        stats: e.stats,
                         hits: e.hits,
                         age_ticks: tick.saturating_sub(e.inserted),
+                        estimated_rows: e.plan.estimated_rows(),
+                        actual_rows: e.actual_rows,
                     },
                 )
             })
@@ -264,6 +312,7 @@ mod tests {
             vars: VarTable::default(),
             exists: Vec::new(),
             form: CForm::Ask(crate::plan::Node::Steps(Vec::new())),
+            logical: String::new(),
         }
     }
 
@@ -276,7 +325,9 @@ mod tests {
         let cache = PlanCache::new(4);
         for _ in 0..3 {
             cache
-                .get_or_compile("m[PCSGM]", "SELECT * WHERE {}", opts(), 7, || Ok(dummy_plan()))
+                .get_or_compile("m[PCSGM]", "SELECT * WHERE {}", opts(), 7, || 0, || {
+                    Ok(dummy_plan())
+                })
                 .unwrap();
         }
         assert_eq!(cache.compiles(), 1);
@@ -290,7 +341,7 @@ mod tests {
         let cache = PlanCache::new(4);
         let run = |epoch| {
             cache
-                .get_or_compile("m[PCSGM]", "ASK {}", opts(), epoch, || Ok(dummy_plan()))
+                .get_or_compile("m[PCSGM]", "ASK {}", opts(), epoch, || 0, || Ok(dummy_plan()))
                 .unwrap()
         };
         run(1);
@@ -307,10 +358,10 @@ mod tests {
         let cache = PlanCache::new(4);
         let mut forced = CompileOptions::default();
         forced.force_join = Some(crate::plan::ForcedJoin::Hash);
-        cache.get_or_compile("a[PCSGM]", "ASK {}", opts(), 1, || Ok(dummy_plan())).unwrap();
-        cache.get_or_compile("b[PCSGM]", "ASK {}", opts(), 1, || Ok(dummy_plan())).unwrap();
-        cache.get_or_compile("a[PCSGM]", "ASK {}", forced, 1, || Ok(dummy_plan())).unwrap();
-        cache.get_or_compile("a[SPCGM]", "ASK {}", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("a[PCSGM]", "ASK {}", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("b[PCSGM]", "ASK {}", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("a[PCSGM]", "ASK {}", forced, 1, || 0, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("a[SPCGM]", "ASK {}", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
         assert_eq!(cache.len(), 4);
         assert_eq!(cache.hits(), 0);
     }
@@ -318,15 +369,15 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let cache = PlanCache::new(2);
-        cache.get_or_compile("m", "q1", opts(), 1, || Ok(dummy_plan())).unwrap();
-        cache.get_or_compile("m", "q2", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("m", "q1", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("m", "q2", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
         // Touch q1 so q2 becomes the LRU victim.
-        cache.get_or_compile("m", "q1", opts(), 1, || Ok(dummy_plan())).unwrap();
-        cache.get_or_compile("m", "q3", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("m", "q1", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("m", "q3", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
         assert_eq!(cache.len(), 2);
-        cache.get_or_compile("m", "q1", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("m", "q1", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
         assert_eq!(cache.hits(), 2, "q1 must have survived eviction");
-        cache.get_or_compile("m", "q2", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("m", "q2", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
         assert_eq!(cache.compiles(), 4, "q2 must have been evicted and recompiled");
         assert_eq!(cache.evictions(), 2, "q2 then q3 fell to capacity pressure");
         assert_eq!(cache.invalidations(), 0, "no epoch moved in this test");
@@ -335,12 +386,39 @@ mod tests {
     #[test]
     fn compile_errors_are_not_cached() {
         let cache = PlanCache::new(4);
-        let err = cache.get_or_compile("m", "bad", opts(), 1, || {
+        let err = cache.get_or_compile("m", "bad", opts(), 1, || 0, || {
             Err(SparqlError::Unsupported("nope".into()))
         });
         assert!(err.is_err());
         assert!(cache.is_empty());
-        cache.get_or_compile("m", "bad", opts(), 1, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile("m", "bad", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
         assert_eq!(cache.compiles(), 2);
+    }
+
+    #[test]
+    fn stats_drift_invalidates_at_same_epoch() {
+        let cache = PlanCache::new(4);
+        let run = |stats: u64| {
+            cache
+                .get_or_compile("m", "ASK {}", opts(), 5, move || stats, || Ok(dummy_plan()))
+                .unwrap()
+        };
+        run(10);
+        run(10);
+        run(11); // ANALYZE moved the stats version without an epoch bump
+        assert_eq!(cache.compiles(), 2);
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn note_result_surfaces_actual_rows() {
+        let cache = PlanCache::new(4);
+        cache.get_or_compile("m", "ASK {}", opts(), 1, || 0, || Ok(dummy_plan())).unwrap();
+        assert_eq!(cache.entries()[0].actual_rows, None);
+        cache.note_result("m", "ASK {}", opts(), 42);
+        assert_eq!(cache.entries()[0].actual_rows, Some(42));
+        cache.note_result("m", "other", opts(), 9); // no such entry: no-op
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -197,6 +197,10 @@ pub struct ExecOptions {
     /// Rows per column batch in the vectorized pipeline (clamped to at
     /// least 1).
     pub batch_size: usize,
+    /// Use the statistics-driven cost-based optimizer when compiling
+    /// (default). `false` falls back to the heuristic greedy planner —
+    /// `pgq --no-cbo` and the optimizer-equivalence tests use this.
+    pub use_cbo: bool,
     /// Optional per-query observer (peak memory, resolved threads,
     /// span timeline) read by the flight recorder after execution.
     pub observer: Option<Arc<ExecObserver>>,
@@ -211,6 +215,7 @@ impl Default for ExecOptions {
             cancel: None,
             vectorize: true,
             batch_size: DEFAULT_BATCH_SIZE,
+            use_cbo: true,
             observer: None,
         }
     }
@@ -260,6 +265,12 @@ impl ExecOptions {
     /// Sets the column batch size (clamped to at least 1).
     pub fn with_batch_size(mut self, size: usize) -> Self {
         self.batch_size = size.max(1);
+        self
+    }
+
+    /// Switches the cost-based optimizer on or off.
+    pub fn with_use_cbo(mut self, on: bool) -> Self {
+        self.use_cbo = on;
         self
     }
 

@@ -14,8 +14,11 @@
 //! a profiled execution ([`crate::exec::execute_profiled`]):
 //!
 //! ```text
-//! 1: ?x <...follows> ?y  [P=<...>] PCSGM range scan (NLJ) ~81 rows (actual: rows=81 loops=1 time=0.113ms)
+//! 1: ?x <...follows> ?y  [P=<...>] PCSGM range scan (NLJ) ~81 rows -> ~81 out (actual: rows=81 loops=1 time=0.113ms Q=1.0)
 //! ```
+//!
+//! `Q=` is the step's Q-error — `max(est, actual) / min(est, actual)` of
+//! the optimizer's output-row estimate, 1.0 being a perfect estimate.
 
 use std::fmt::Write as _;
 
@@ -98,6 +101,7 @@ fn collect_node(
                     index: step_access(step),
                     strategy: step_strategy(vars, step),
                     est_rows: step.est_scan as u64,
+                    est_out_rows: step.est_out,
                     executed: tally.is_some(),
                     actual_rows: tally.map(|t| t.rows).unwrap_or(0),
                     loops: tally.map(|t| t.loops).unwrap_or(0),
@@ -118,6 +122,7 @@ fn collect_node(
                 index: "closure".to_string(),
                 strategy: "PATH".to_string(),
                 est_rows: 0,
+                est_out_rows: 0,
                 executed: tally.is_some(),
                 actual_rows: tally.map(|t| t.rows).unwrap_or(0),
                 loops: tally.map(|t| t.loops).unwrap_or(0),
@@ -192,14 +197,16 @@ fn render_node(
         Node::Steps(steps) => {
             for step in steps {
                 let actual = profile
-                    .map(|p| format_actual(p.step(step)))
+                    .map(|p| format_actual(p.step(step), Some(step.est_out)))
                     .unwrap_or_default();
                 let _ = writeln!(out, "{pad}{}: {}{}", counter, render_step(vars, step), actual);
                 *counter += 1;
             }
         }
         Node::Path(p) => {
-            let actual = profile.map(|pr| format_actual(pr.path(p))).unwrap_or_default();
+            let actual = profile
+                .map(|pr| format_actual(pr.path(p), None))
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
                 "{pad}{}: PATH {} -[closure]-> {}{}",
@@ -248,16 +255,30 @@ fn render_node(
     }
 }
 
-fn format_actual(tally: Option<crate::exec::StepTally>) -> String {
+fn format_actual(tally: Option<crate::exec::StepTally>, est_out: Option<u64>) -> String {
     match tally {
-        Some(t) => format!(
-            " (actual: rows={} loops={} time={})",
-            t.rows,
-            t.loops,
-            format_nanos(t.nanos)
-        ),
+        Some(t) => {
+            let q = est_out
+                .map(|est| format!(" Q={:.1}", q_error(est, t.rows)))
+                .unwrap_or_default();
+            format!(
+                " (actual: rows={} loops={} time={}{q})",
+                t.rows,
+                t.loops,
+                format_nanos(t.nanos)
+            )
+        }
         None => " (actual: never executed)".to_string(),
     }
+}
+
+/// The Q-error of an estimate: `max(est, actual) / min(est, actual)`,
+/// with both sides clamped to at least 1 so empty results stay finite.
+/// 1.0 is a perfect estimate; the factor is symmetric in direction.
+pub fn q_error(est: u64, actual: u64) -> f64 {
+    let est = est.max(1) as f64;
+    let actual = actual.max(1) as f64;
+    (est / actual).max(actual / est)
 }
 
 /// Human formatting for nanosecond figures: `ns`, `µs`, or `ms`.
@@ -333,12 +354,13 @@ fn render_step(vars: &VarTable, step: &Step) -> String {
         bound.push(format!("G={t}"));
     }
     format!(
-        "{}  [{}] {} ({}) ~{} rows",
+        "{}  [{}] {} ({}) ~{} rows -> ~{} out",
         step_pattern(vars, step),
         bound.join(" and "),
         step_access(step),
         step_strategy(vars, step),
-        step.est_scan
+        step.est_scan,
+        step.est_out
     )
 }
 

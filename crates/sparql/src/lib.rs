@@ -29,18 +29,21 @@
 
 pub mod ast;
 pub mod cache;
+pub(crate) mod cost;
 pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod expr;
 pub mod json;
 pub mod lexer;
+pub mod logical;
 pub(crate) mod metrics;
 pub mod parser;
 pub mod path;
 pub mod plan;
 pub mod profile;
 pub mod results;
+pub mod rewrite;
 pub mod update;
 
 pub use ast::{Query, Update};
@@ -133,6 +136,19 @@ pub fn explain_query(store: &Store, dataset: &str, text: &str) -> Result<String,
     let parsed = parse_query(text)?;
     let compiled = compile(&view, &parsed)?;
     Ok(explain::render(&compiled))
+}
+
+/// Renders the rewritten logical plan of a query — the optimizer's
+/// intermediate algebra plus the rewrite rules that fired.
+pub fn explain_logical_query(
+    store: &Store,
+    dataset: &str,
+    text: &str,
+) -> Result<String, SparqlError> {
+    let view = store.dataset(dataset)?;
+    let parsed = parse_query(text)?;
+    let compiled = compile(&view, &parsed)?;
+    Ok(compiled.logical.clone())
 }
 
 /// Parses and executes a SPARQL Update against a semantic model. Each

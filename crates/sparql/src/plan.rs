@@ -1,11 +1,19 @@
 //! Query compilation and planning.
 //!
-//! Compilation maps AST variables to binding slots, resolves constant
-//! terms to dictionary IDs, rewrites property-path sequences/alternatives
-//! into joins/unions (the standard SPARQL algebra translation), and plans
-//! each basic graph pattern: greedy selectivity ordering plus a per-step
-//! choice between index nested-loop join and hash join — the two physical
-//! strategies whose interplay the paper's experiments 4 and 5 highlight.
+//! Compilation is a layered optimizer pipeline:
+//!
+//! 1. **Lowering** maps AST variables to binding slots, resolves constant
+//!    terms to dictionary IDs, and rewrites property-path
+//!    sequences/alternatives into joins/unions (the standard SPARQL
+//!    algebra translation), producing the logical algebra of
+//!    [`crate::logical`].
+//! 2. **Rewriting** ([`crate::rewrite`]) pushes filter pins into scans,
+//!    folds constants, and eliminates provably empty subtrees.
+//! 3. **Physical planning** ([`crate::cost`]) orders each basic graph
+//!    pattern — statistics-driven dynamic programming by default, the
+//!    greedy heuristic as fallback — with a per-step choice between index
+//!    nested-loop join and hash join, the two physical strategies whose
+//!    interplay the paper's experiments 4 and 5 highlight.
 
 use std::collections::{HashMap, HashSet};
 
@@ -16,12 +24,10 @@ use crate::ast::{
     Aggregate, Expression, GraphPattern, PredicatePattern, Projection, PropertyPath, Query,
     SelectQuery, VarOrTerm,
 };
+use crate::cost::{BgpPlanner, Estimator};
 use crate::error::SparqlError;
 use crate::expr::{CExpr, TermKind, Value};
-
-/// Cost charged per index probe (binary search + pointer chasing) relative
-/// to one sequential key visit; used in the NLJ-vs-hash decision.
-const PROBE_COST: f64 = 20.0;
+use crate::logical::{lnode_vars, LForm, LNode, LQuery, LSelect, Pin};
 
 /// Maps variable names to binding slots.
 #[derive(Debug, Default, Clone)]
@@ -186,6 +192,10 @@ pub struct Step {
     pub strategy: Strategy,
     /// Estimated matches of the constants-only scan.
     pub est_scan: usize,
+    /// Estimated rows flowing *out* of this step (the optimizer's
+    /// cardinality after the join), for EXPLAIN's estimated-vs-actual
+    /// comparison.
+    pub est_out: u64,
     /// The access path the (first member of the) dataset would use.
     pub access: Option<AccessPath>,
 }
@@ -331,6 +341,36 @@ pub struct CompiledQuery {
     pub exists: Vec<Node>,
     /// The compiled form.
     pub form: CForm,
+    /// Rendered logical plan (post-rewrite), with the applied rewrite
+    /// rules — the `EXPLAIN LOGICAL` text.
+    pub logical: String,
+}
+
+impl CompiledQuery {
+    /// The optimizer's estimated result cardinality of the root pattern
+    /// (the estimated output of the last planned step; 0 when the plan
+    /// has no scan steps to estimate).
+    pub fn estimated_rows(&self) -> u64 {
+        fn last_est(node: &Node) -> Option<u64> {
+            match node {
+                Node::Steps(steps) => steps.last().map(|s| s.est_out),
+                Node::Filter(_, inner) => last_est(inner),
+                Node::Join(children) => children.iter().rev().find_map(last_est),
+                Node::Union(a, b) => {
+                    Some(last_est(a).unwrap_or(0).saturating_add(last_est(b).unwrap_or(0)))
+                }
+                Node::Optional(a, _) => last_est(a),
+                Node::SubSelect(sel) => last_est(&sel.root),
+                Node::Values { rows, .. } => Some(rows.len() as u64),
+                _ => None,
+            }
+        }
+        let root = match &self.form {
+            CForm::Select(sel) | CForm::Construct(_, sel) => &sel.root,
+            CForm::Ask(node) => return last_est(node).unwrap_or(0).min(1),
+        };
+        last_est(root).unwrap_or(0)
+    }
 }
 
 /// Compiled query forms.
@@ -370,11 +410,20 @@ pub struct CompileOptions {
     /// request (the reference row pipeline is the correctness oracle and
     /// must not silently inherit vectorized state, and vice versa).
     pub vectorize: bool,
+    /// Whether the cost-based optimizer plans join orders (statistics +
+    /// dynamic programming). Off = the greedy heuristic planner, exactly
+    /// as before CBO existed (`pgq --no-cbo`). Part of the plan-cache key.
+    pub use_cbo: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { union_default_graph: true, force_join: None, vectorize: true }
+        CompileOptions {
+            union_default_graph: true,
+            force_join: None,
+            vectorize: true,
+            use_cbo: true,
+        }
     }
 }
 
@@ -385,41 +434,55 @@ pub fn compile(view: &DatasetView, query: &Query) -> Result<CompiledQuery, Sparq
     compile_with(view, query, CompileOptions::default())
 }
 
-/// [`compile`] with explicit options.
+/// [`compile`] with explicit options: lower to the logical algebra, run
+/// the rewrite rules, then plan physically.
 pub fn compile_with(
     view: &DatasetView,
     query: &Query,
     options: CompileOptions,
 ) -> Result<CompiledQuery, SparqlError> {
-    let mut c = Compiler {
-        view,
-        vars: VarTable::default(),
-        options,
-        exists: Vec::new(),
-    };
+    let mut c = Compiler { view, vars: VarTable::default(), exists: Vec::new() };
     let root = if options.union_default_graph { CGraph::Any } else { CGraph::Default };
     let form = match query {
-        Query::Select(sel) => {
-            CForm::Select(c.compile_select(sel, &root, &mut HashSet::new())?)
-        }
+        Query::Select(sel) => LForm::Select(c.lower_select(sel, &root, &mut HashSet::new())?),
         Query::Ask(pattern) => {
-            let node = c.compile_pattern(pattern, &root, &mut HashSet::new())?;
-            CForm::Ask(node)
+            LForm::Ask(c.lower_pattern(pattern, &root, &mut HashSet::new())?)
         }
-        Query::Construct(templates, inner) => {
-            let csel = c.compile_select(inner, &root, &mut HashSet::new())?;
-            CForm::Construct(templates.clone(), csel)
+        Query::Construct(templates, inner) => LForm::Construct(
+            templates.clone(),
+            c.lower_select(inner, &root, &mut HashSet::new())?,
+        ),
+    };
+    let mut lquery = LQuery { form, exists: std::mem::take(&mut c.exists) };
+    let trace = crate::rewrite::rewrite_query(&mut lquery);
+    let logical = crate::logical::render(&c.vars, &lquery, trace.applied());
+
+    let physical = Physical {
+        view,
+        options,
+        est: Estimator::new(view, options.use_cbo),
+    };
+    let form = match &lquery.form {
+        LForm::Select(ls) => CForm::Select(physical.emit_select(ls, &mut HashSet::new())),
+        LForm::Ask(node) => CForm::Ask(physical.emit_node(node, &mut HashSet::new())),
+        LForm::Construct(templates, ls) => {
+            CForm::Construct(templates.clone(), physical.emit_select(ls, &mut HashSet::new()))
         }
     };
-    Ok(CompiledQuery { vars: c.vars, exists: c.exists, form })
+    let exists = lquery
+        .exists
+        .iter()
+        .map(|(node, bound)| physical.emit_node(node, &mut bound.clone()))
+        .collect();
+    Ok(CompiledQuery { vars: c.vars, exists, form, logical })
 }
 
 struct Compiler<'a> {
     view: &'a DatasetView,
     vars: VarTable,
-    options: CompileOptions,
-    /// Compiled EXISTS patterns, shared across the whole query.
-    exists: Vec<Node>,
+    /// Lowered EXISTS patterns, shared across the whole query, each with
+    /// the bound-slot snapshot at its filter site.
+    exists: Vec<(LNode, HashSet<usize>)>,
 }
 
 impl Compiler<'_> {
@@ -434,13 +497,16 @@ impl Compiler<'_> {
         }
     }
 
-    fn compile_select(
+    /// Lowers a SELECT into the logical algebra. SELECT-star projection is
+    /// resolved here, before any rewrite runs, so later tree surgery can
+    /// never change the projected columns.
+    fn lower_select(
         &mut self,
         sel: &SelectQuery,
         graph: &CGraph,
         bound: &mut HashSet<usize>,
-    ) -> Result<CSelect, SparqlError> {
-        let root = self.compile_pattern(&sel.pattern, graph, bound)?;
+    ) -> Result<LSelect, SparqlError> {
+        let root = self.lower_pattern(&sel.pattern, graph, bound)?;
 
         let group_slots: Vec<usize> = sel.group_by.iter().map(|v| self.vars.slot(v)).collect();
 
@@ -448,7 +514,7 @@ impl Compiler<'_> {
         let mut projection = Vec::new();
         if sel.projection.is_empty() {
             // SELECT *: project every user-visible variable in the pattern.
-            let mut slots: Vec<usize> = node_vars(&root)
+            let mut slots: Vec<usize> = lnode_vars(&root)
                 .into_iter()
                 .filter(|&s| !self.vars.name(s).starts_with(' '))
                 .collect();
@@ -491,7 +557,7 @@ impl Compiler<'_> {
             bound.insert(proj.slot);
         }
 
-        Ok(CSelect {
+        Ok(LSelect {
             distinct: sel.distinct,
             projection,
             aggregates,
@@ -504,66 +570,54 @@ impl Compiler<'_> {
         })
     }
 
-    fn compile_pattern(
+    fn lower_pattern(
         &mut self,
         pattern: &GraphPattern,
         graph: &CGraph,
         bound: &mut HashSet<usize>,
-    ) -> Result<Node, SparqlError> {
+    ) -> Result<LNode, SparqlError> {
         match pattern {
-            GraphPattern::Bgp(tps) => self.compile_bgp(tps, graph, bound),
+            GraphPattern::Bgp(tps) => self.lower_bgp(tps, graph, bound),
             GraphPattern::Graph(g, inner) => {
                 let cg = match g {
                     VarOrTerm::Var(v) => CGraph::Var(self.vars.slot(v)),
                     VarOrTerm::Term(t) => CGraph::Const(t.clone(), self.term_id(t)),
                 };
-                let node = self.compile_pattern(inner, &cg, bound)?;
+                let node = self.lower_pattern(inner, &cg, bound)?;
                 if let CGraph::Var(slot) = cg {
                     bound.insert(slot);
                 }
                 Ok(node)
             }
             GraphPattern::Group(members, filters) => {
-                // Constant-equality pushdown: a conjunctive filter
-                // `?v = <const>` pins ?v for the whole group, so
-                // substitute the constant into the member patterns (making
-                // them selective — this is what turns EQ3/EQ7's
+                // Constant-equality pins: a conjunctive filter
+                // `?v = <const>` pins ?v for the whole group. Lowering only
+                // *records* the pins (resolved to slots and dictionary
+                // IDs); the pin-pushdown rewrite substitutes them into the
+                // scans — this is what turns EQ3/EQ7's
                 // `FILTER (?t = "#webseries")` from a full cross join into
-                // indexed probes) and bind ?v via a one-row VALUES so it
-                // stays visible to projection. Substitution is restricted
-                // to IRIs and plain strings, whose term identity coincides
-                // with SPARQL value equality under our canonical
-                // dictionary; the original filter is kept as a no-op
-                // safety net.
-                let pins = extract_pins(filters);
-                let substituted: Vec<GraphPattern>;
-                let members: &[GraphPattern] = if pins.is_empty() {
-                    members
-                } else {
-                    substituted = members
-                        .iter()
-                        .map(|m| substitute_pattern(m, &pins))
-                        .collect();
-                    &substituted
-                };
-                let mut children = Vec::with_capacity(members.len() + 1);
-                if !pins.is_empty() {
-                    let slots: Vec<usize> =
-                        pins.iter().map(|(v, _)| self.vars.slot(v)).collect();
-                    for &s in &slots {
-                        bound.insert(s);
-                    }
-                    let row: Vec<Option<Term>> =
-                        pins.iter().map(|(_, t)| Some(t.clone())).collect();
-                    children.push(Node::Values { slots, rows: vec![row] });
+                // indexed probes. Pins are restricted to IRIs and plain
+                // strings, whose term identity coincides with SPARQL value
+                // equality under our canonical dictionary.
+                let pins: Vec<Pin> = extract_pins(filters)
+                    .into_iter()
+                    .map(|(v, t)| {
+                        let slot = self.vars.slot(&v);
+                        let id = self.term_id(&t);
+                        Pin { slot, term: t, id }
+                    })
+                    .collect();
+                for pin in &pins {
+                    bound.insert(pin.slot);
                 }
+                let mut children = Vec::with_capacity(members.len());
                 for member in members {
-                    children.push(self.compile_pattern(member, graph, bound)?);
+                    children.push(self.lower_pattern(member, graph, bound)?);
                 }
                 let joined = if children.len() == 1 {
                     children.pop().expect("one child")
                 } else {
-                    Node::Join(children)
+                    LNode::Join(children)
                 };
                 if filters.is_empty() {
                     Ok(joined)
@@ -578,43 +632,43 @@ impl Compiler<'_> {
                             "aggregates are not allowed in FILTER".into(),
                         ));
                     }
-                    Ok(Node::Filter(cfilters, Box::new(joined)))
+                    Ok(LNode::Filter { exprs: cfilters, pins, inner: Box::new(joined) })
                 }
             }
             GraphPattern::Union(a, b) => {
                 let mut bound_a = bound.clone();
                 let mut bound_b = bound.clone();
-                let na = self.compile_pattern(a, graph, &mut bound_a)?;
-                let nb = self.compile_pattern(b, graph, &mut bound_b)?;
+                let na = self.lower_pattern(a, graph, &mut bound_a)?;
+                let nb = self.lower_pattern(b, graph, &mut bound_b)?;
                 // After a union only vars bound on both branches are
                 // certainly bound.
                 for s in bound_a.intersection(&bound_b) {
                     bound.insert(*s);
                 }
-                Ok(Node::Union(Box::new(na), Box::new(nb)))
+                Ok(LNode::Union(Box::new(na), Box::new(nb)))
             }
             GraphPattern::Optional(a, b) => {
-                let na = self.compile_pattern(a, graph, bound)?;
+                let na = self.lower_pattern(a, graph, bound)?;
                 let mut bound_b = bound.clone();
-                let nb = self.compile_pattern(b, graph, &mut bound_b)?;
-                Ok(Node::Optional(Box::new(na), Box::new(nb)))
+                let nb = self.lower_pattern(b, graph, &mut bound_b)?;
+                Ok(LNode::Optional(Box::new(na), Box::new(nb)))
             }
             GraphPattern::SubSelect(sel) => {
                 // SPARQL sub-selects evaluate bottom-up: independent of the
                 // outer bindings.
                 let mut inner_bound = HashSet::new();
-                let csel = self.compile_select(sel, graph, &mut inner_bound)?;
-                for proj in &csel.projection {
+                let lsel = self.lower_select(sel, graph, &mut inner_bound)?;
+                for proj in &lsel.projection {
                     bound.insert(proj.slot);
                 }
-                Ok(Node::SubSelect(Box::new(csel)))
+                Ok(LNode::SubSelect(Box::new(lsel)))
             }
             GraphPattern::Values(vars, rows) => {
                 let slots: Vec<usize> = vars.iter().map(|v| self.vars.slot(v)).collect();
                 for &s in &slots {
                     bound.insert(s);
                 }
-                Ok(Node::Values { slots, rows: rows.clone() })
+                Ok(LNode::Values { slots, rows: rows.clone() })
             }
             GraphPattern::Bind(expr, var) => {
                 let mut aggs = Vec::new();
@@ -626,26 +680,26 @@ impl Compiler<'_> {
                 }
                 let slot = self.vars.slot(var);
                 bound.insert(slot);
-                Ok(Node::Extend(slot, cexpr))
+                Ok(LNode::Extend(slot, cexpr))
             }
             GraphPattern::Minus(inner) => {
                 // MINUS evaluates its pattern independently (bottom-up); it
                 // binds nothing outward.
                 let mut inner_bound = HashSet::new();
-                let node = self.compile_pattern(inner, graph, &mut inner_bound)?;
-                Ok(Node::Minus(Box::new(node)))
+                let node = self.lower_pattern(inner, graph, &mut inner_bound)?;
+                Ok(LNode::Minus(Box::new(node)))
             }
         }
     }
 
-    fn compile_bgp(
+    fn lower_bgp(
         &mut self,
         tps: &[crate::ast::TriplePattern],
         graph: &CGraph,
         bound: &mut HashSet<usize>,
-    ) -> Result<Node, SparqlError> {
+    ) -> Result<LNode, SparqlError> {
         let mut plain: Vec<CTriple> = Vec::new();
-        let mut extras: Vec<Node> = Vec::new();
+        let mut extras: Vec<LNode> = Vec::new();
 
         for tp in tps {
             let s = self.cpos(&tp.subject);
@@ -665,25 +719,28 @@ impl Compiler<'_> {
             }
         }
 
-        let steps_node = self.plan_steps(plain, bound);
-
         // Extras (closure paths, alternation unions) run after the indexed
-        // steps so their endpoints are bound where possible.
+        // triples so their endpoints are bound where possible.
         let mut children = Vec::new();
-        if let Some(node) = steps_node {
-            children.push(node);
+        if !plain.is_empty() {
+            for t in &plain {
+                for v in t.var_slots() {
+                    bound.insert(v);
+                }
+            }
+            children.push(LNode::Bgp(plain));
         }
         for extra in extras {
             // Update bound set with the vars the extra will bind.
-            for v in node_vars(&extra) {
+            for v in lnode_vars(&extra) {
                 bound.insert(v);
             }
             children.push(extra);
         }
         match children.len() {
-            0 => Ok(Node::Steps(Vec::new())),
+            0 => Ok(LNode::Bgp(Vec::new())),
             1 => Ok(children.pop().expect("one child")),
-            _ => Ok(Node::Join(children)),
+            _ => Ok(LNode::Join(children)),
         }
     }
 
@@ -697,7 +754,7 @@ impl Compiler<'_> {
         o: CPos,
         graph: &CGraph,
         plain: &mut Vec<CTriple>,
-        extras: &mut Vec<Node>,
+        extras: &mut Vec<LNode>,
     ) -> Result<(), SparqlError> {
         match path {
             PropertyPath::Iri(iri) => {
@@ -719,22 +776,21 @@ impl Compiler<'_> {
                 let mut plain_b = Vec::new();
                 let mut extras_b = Vec::new();
                 self.expand_path(s, b, o, graph, &mut plain_b, &mut extras_b)?;
-                let branch = |this: &mut Self, plain: Vec<CTriple>, mut extras: Vec<Node>| {
-                    let steps = this.plan_steps(plain, &mut HashSet::new());
+                let branch = |plain: Vec<CTriple>, mut extras: Vec<LNode>| {
                     let mut children = Vec::new();
-                    if let Some(node) = steps {
-                        children.push(node);
+                    if !plain.is_empty() {
+                        children.push(LNode::Bgp(plain));
                     }
                     children.append(&mut extras);
                     match children.len() {
-                        0 => Node::Steps(Vec::new()),
+                        0 => LNode::Bgp(Vec::new()),
                         1 => children.pop().expect("one child"),
-                        _ => Node::Join(children),
+                        _ => LNode::Join(children),
                     }
                 };
-                let na = branch(self, plain_a, extras_a);
-                let nb = branch(self, plain_b, extras_b);
-                extras.push(Node::Union(Box::new(na), Box::new(nb)));
+                let na = branch(plain_a, extras_a);
+                let nb = branch(plain_b, extras_b);
+                extras.push(LNode::Union(Box::new(na), Box::new(nb)));
                 Ok(())
             }
             PropertyPath::ZeroOrMore(_)
@@ -752,7 +808,7 @@ impl Compiler<'_> {
                         ))
                     }
                 };
-                extras.push(Node::Path(PathStep {
+                extras.push(LNode::Path(PathStep {
                     s,
                     o,
                     path: self.compile_cpath(path),
@@ -785,126 +841,10 @@ impl Compiler<'_> {
         }
     }
 
-    /// Greedy BGP planning with per-step join-strategy selection.
-    fn plan_steps(&self, mut remaining: Vec<CTriple>, bound: &mut HashSet<usize>) -> Option<Node> {
-        if remaining.is_empty() {
-            return None;
-        }
-        let mut steps = Vec::with_capacity(remaining.len());
-        let mut left_card: f64 = 1.0;
-        while !remaining.is_empty() {
-            // Pick the next triple: prefer those joined to the bound set.
-            // Joined candidates are ordered by their statistics-based
-            // per-probe fanout (range cardinality over distinct counts,
-            // no data scans), not by total cardinality — a pattern with
-            // fewer rows overall can still explode per probe when the
-            // join slot's value distribution is skewed. Unjoined
-            // candidates fall back to the constants-only estimate.
-            let mut best = 0usize;
-            let mut best_key = (usize::MAX, usize::MAX);
-            for (i, t) in remaining.iter().enumerate() {
-                let shared = t.var_slots().iter().filter(|s| bound.contains(s)).count();
-                let cost = if t.unsatisfiable() {
-                    0.0
-                } else if shared > 0 {
-                    self.view
-                        .stat_fanout(&t.const_pattern(), &join_positions(t, bound))
-                } else {
-                    self.view.estimate(&t.const_pattern()) as f64
-                };
-                // Joined patterns first (shared>0 → rank 0); among a rank,
-                // smallest cost first (scaled to keep fractional fanouts
-                // comparable).
-                let rank = if shared > 0 || steps.is_empty() { 0 } else { 1 };
-                let key = (rank, (cost * 1024.0).min(usize::MAX as f64) as usize);
-                if key < best_key {
-                    best_key = key;
-                    best = i;
-                }
-            }
-            let triple = remaining.swap_remove(best);
-            let est_scan = if triple.unsatisfiable() {
-                0
-            } else {
-                self.view.estimate(&triple.const_pattern())
-            };
-
-            // Slots of this triple already bound upstream = join slots.
-            let join_slots: Vec<usize> = {
-                let mut seen = HashSet::new();
-                triple
-                    .var_slots()
-                    .into_iter()
-                    .filter(|s| bound.contains(s) && seen.insert(*s))
-                    .collect()
-            };
-
-            let strategy;
-            let out_card;
-            if join_slots.is_empty() {
-                strategy = Strategy::IndexNlj;
-                out_card = left_card * est_scan as f64;
-            } else {
-                let positions = join_positions(&triple, bound);
-                let per_probe = self.view.stat_fanout(&triple.const_pattern(), &positions);
-                let nlj_cost = left_card * (PROBE_COST + per_probe);
-                let hash_cost = 2.0 * est_scan as f64 + left_card;
-                strategy = match self.options.force_join {
-                    Some(ForcedJoin::Nlj) => Strategy::IndexNlj,
-                    Some(ForcedJoin::Hash) => Strategy::HashJoin { join_slots },
-                    None if nlj_cost <= hash_cost => Strategy::IndexNlj,
-                    None => Strategy::HashJoin { join_slots },
-                };
-                out_card = (left_card * per_probe).max(1.0);
-            }
-            left_card = out_card;
-
-            // What access path will the probe use? (For EXPLAIN.) At probe
-            // time only the *join* slots are bound — reflect exactly those
-            // in the pattern. The hash build side scans constants only.
-            let access = {
-                let mut probe = triple.const_pattern();
-                if !matches!(strategy, Strategy::HashJoin { .. }) {
-                    if let CPos::Var(v) = &triple.s {
-                        if bound.contains(v) && probe.s.is_none() {
-                            probe.s = Some(TermId(u64::MAX));
-                        }
-                    }
-                    if let CPos::Var(v) = &triple.p {
-                        if bound.contains(v) && probe.p.is_none() {
-                            probe.p = Some(TermId(u64::MAX));
-                        }
-                    }
-                    if let CPos::Var(v) = &triple.o {
-                        if bound.contains(v) && probe.o.is_none() {
-                            probe.o = Some(TermId(u64::MAX));
-                        }
-                    }
-                    if let CGraph::Var(v) = &triple.g {
-                        if bound.contains(v) {
-                            probe.g = GraphConstraint::Named(TermId(u64::MAX));
-                        }
-                    }
-                }
-                self.view
-                    .access_paths(&probe)
-                    .into_iter()
-                    .next()
-                    .map(|(_, p)| p)
-            };
-
-            for v in triple.var_slots() {
-                bound.insert(v);
-            }
-
-            steps.push(Step { triple, strategy, est_scan, access });
-        }
-        Some(Node::Steps(steps))
-    }
-
     /// Compiles an expression in a pattern context, allowing
-    /// `EXISTS { ... }` (which compiles its pattern against the current
-    /// graph context and bound set).
+    /// `EXISTS { ... }` (which lowers its pattern against the current
+    /// graph context and records the bound-slot snapshot for the physical
+    /// planner).
     fn compile_expr_in(
         &mut self,
         expr: &Expression,
@@ -915,8 +855,8 @@ impl Compiler<'_> {
         match expr {
             Expression::Exists(pattern, negated) => {
                 let mut inner_bound = bound.clone();
-                let node = self.compile_pattern(pattern, graph, &mut inner_bound)?;
-                self.exists.push(node);
+                let node = self.lower_pattern(pattern, graph, &mut inner_bound)?;
+                self.exists.push((node, bound.clone()));
                 let exists_ref = CExpr::ExistsRef(self.exists.len() - 1);
                 Ok(if *negated {
                     CExpr::Not(Box::new(exists_ref))
@@ -1062,85 +1002,155 @@ fn extract_pins(filters: &[Expression]) -> Vec<(String, Term)> {
     pins
 }
 
-/// Substitutes pinned variables with their constants inside a pattern
-/// (recursively through groups, graphs, unions, and optionals; not into
-/// sub-SELECTs, which have their own scope).
-fn substitute_pattern(pattern: &GraphPattern, pins: &[(String, Term)]) -> GraphPattern {
-    let sub_vt = |vt: &VarOrTerm| -> VarOrTerm {
-        if let VarOrTerm::Var(v) = vt {
-            if let Some((_, t)) = pins.iter().find(|(p, _)| p == v) {
-                return VarOrTerm::Term(t.clone());
+/// Physical planner: walks the rewritten logical tree, threading the
+/// certainly-bound slot set exactly like lowering did, and emits the
+/// executable [`Node`] tree. BGP join ordering and strategy selection are
+/// delegated to [`BgpPlanner`].
+struct Physical<'a> {
+    view: &'a DatasetView,
+    options: CompileOptions,
+    est: Estimator<'a>,
+}
+
+impl Physical<'_> {
+    fn planner(&self) -> BgpPlanner<'_> {
+        BgpPlanner {
+            view: self.view,
+            est: &self.est,
+            force_join: self.options.force_join,
+            use_cbo: self.options.use_cbo,
+        }
+    }
+
+    fn emit_select(&self, lsel: &LSelect, bound: &mut HashSet<usize>) -> CSelect {
+        let root = self.emit_node(&lsel.root, bound);
+        for proj in &lsel.projection {
+            bound.insert(proj.slot);
+        }
+        CSelect {
+            distinct: lsel.distinct,
+            projection: lsel.projection.clone(),
+            aggregates: lsel.aggregates.clone(),
+            group_slots: lsel.group_slots.clone(),
+            having: lsel.having.clone(),
+            root,
+            order_by: lsel.order_by.clone(),
+            limit: lsel.limit,
+            offset: lsel.offset,
+        }
+    }
+
+    fn emit_node(&self, node: &LNode, bound: &mut HashSet<usize>) -> Node {
+        match node {
+            LNode::Bgp(tps) => self
+                .planner()
+                .plan(tps.clone(), bound)
+                .unwrap_or(Node::Steps(Vec::new())),
+            LNode::Path(p) => {
+                if let CPos::Var(s) = &p.s {
+                    bound.insert(*s);
+                }
+                if let CPos::Var(s) = &p.o {
+                    bound.insert(*s);
+                }
+                Node::Path(p.clone())
             }
-        }
-        vt.clone()
-    };
-    match pattern {
-        GraphPattern::Bgp(tps) => GraphPattern::Bgp(
-            tps.iter()
-                .map(|tp| crate::ast::TriplePattern {
-                    subject: sub_vt(&tp.subject),
-                    predicate: match &tp.predicate {
-                        PredicatePattern::Var(v) => {
-                            match pins.iter().find(|(p, _)| p == v) {
-                                Some((_, Term::Iri(iri))) => PredicatePattern::Path(
-                                    PropertyPath::Iri(iri.clone()),
-                                ),
-                                _ => tp.predicate.clone(),
-                            }
-                        }
-                        path => path.clone(),
-                    },
-                    object: sub_vt(&tp.object),
-                })
-                .collect(),
-        ),
-        GraphPattern::Graph(g, inner) => {
-            GraphPattern::Graph(sub_vt(g), Box::new(substitute_pattern(inner, pins)))
-        }
-        GraphPattern::Group(members, filters) => GraphPattern::Group(
-            members.iter().map(|m| substitute_pattern(m, pins)).collect(),
-            filters.clone(),
-        ),
-        GraphPattern::Union(a, b) => GraphPattern::Union(
-            Box::new(substitute_pattern(a, pins)),
-            Box::new(substitute_pattern(b, pins)),
-        ),
-        GraphPattern::Optional(a, b) => GraphPattern::Optional(
-            Box::new(substitute_pattern(a, pins)),
-            Box::new(substitute_pattern(b, pins)),
-        ),
-        GraphPattern::Minus(inner) => {
-            GraphPattern::Minus(Box::new(substitute_pattern(inner, pins)))
-        }
-        GraphPattern::SubSelect(_) | GraphPattern::Values(_, _) | GraphPattern::Bind(_, _) => {
-            pattern.clone()
+            LNode::Join(children) => {
+                Node::Join(children.iter().map(|c| self.emit_node(c, bound)).collect())
+            }
+            LNode::Filter { exprs, inner, .. } => {
+                Node::Filter(exprs.clone(), Box::new(self.emit_node(inner, bound)))
+            }
+            LNode::Union(a, b) => {
+                let mut bound_a = bound.clone();
+                let mut bound_b = bound.clone();
+                let na = self.emit_node(a, &mut bound_a);
+                let nb = self.emit_node(b, &mut bound_b);
+                for s in bound_a.intersection(&bound_b) {
+                    bound.insert(*s);
+                }
+                Node::Union(Box::new(na), Box::new(nb))
+            }
+            LNode::Optional(a, b) => {
+                let na = self.emit_node(a, bound);
+                let mut bound_b = bound.clone();
+                let nb = self.emit_node(b, &mut bound_b);
+                Node::Optional(Box::new(na), Box::new(nb))
+            }
+            LNode::SubSelect(lsel) => {
+                let mut inner_bound = HashSet::new();
+                let csel = self.emit_select(lsel, &mut inner_bound);
+                for proj in &csel.projection {
+                    bound.insert(proj.slot);
+                }
+                Node::SubSelect(Box::new(csel))
+            }
+            LNode::Values { slots, rows } => {
+                for &s in slots {
+                    bound.insert(s);
+                }
+                Node::Values { slots: slots.clone(), rows: rows.clone() }
+            }
+            LNode::Extend(slot, expr) => {
+                bound.insert(*slot);
+                Node::Extend(*slot, expr.clone())
+            }
+            LNode::Minus(inner) => {
+                let mut inner_bound = HashSet::new();
+                Node::Minus(Box::new(self.emit_node(inner, &mut inner_bound)))
+            }
+            LNode::Unsatisfiable(inner) => {
+                // A subtree proven empty by a missing constant still emits
+                // its real operators when it contains a zero-row scan that
+                // short-circuits execution anyway: the planner drives the
+                // zero-estimate pattern first, and EXPLAIN keeps showing
+                // the actual scans. Only subtrees with no natural short
+                // circuit (constant-false filters over live patterns,
+                // empty unions) collapse to one synthetic empty scan.
+                if short_circuits(inner) {
+                    self.emit_node(inner, bound)
+                } else {
+                    for v in lnode_vars(inner) {
+                        bound.insert(v);
+                    }
+                    Node::Steps(vec![unsatisfiable_step()])
+                }
+            }
         }
     }
 }
 
-fn join_positions(triple: &CTriple, bound: &HashSet<usize>) -> Vec<usize> {
-    let mut positions = Vec::new();
-    if let CPos::Var(s) = &triple.s {
-        if bound.contains(s) {
-            positions.push(quadstore::ids::S);
-        }
+/// True when executing `node` starts from a scan that produces zero rows
+/// on its own — an unsatisfiable triple pattern, or a join whose first
+/// (reordered) input is proven empty. Such subtrees are emitted normally:
+/// the pipeline stops at the zero-row producer.
+fn short_circuits(node: &LNode) -> bool {
+    match node {
+        LNode::Bgp(tps) => tps.iter().any(|t| t.unsatisfiable()),
+        LNode::Join(children) => children.first().is_some_and(short_circuits),
+        LNode::Filter { inner, .. } => short_circuits(inner),
+        LNode::Unsatisfiable(_) => true,
+        _ => false,
     }
-    if let CPos::Var(s) = &triple.p {
-        if bound.contains(s) {
-            positions.push(quadstore::ids::P);
-        }
+}
+
+/// A synthetic always-empty step: every position is a constant absent from
+/// the dictionary, which every execution path (row probe, hash build,
+/// vectorized scan) already treats as a zero-row scan.
+fn unsatisfiable_step() -> Step {
+    let marker = Term::iri("urn:pgrdf:unsatisfiable");
+    Step {
+        triple: CTriple {
+            s: CPos::Const(marker.clone(), None),
+            p: CPos::Const(marker.clone(), None),
+            o: CPos::Const(marker, None),
+            g: CGraph::Any,
+        },
+        strategy: Strategy::IndexNlj,
+        est_scan: 0,
+        est_out: 0,
+        access: None,
     }
-    if let CPos::Var(s) = &triple.o {
-        if bound.contains(s) {
-            positions.push(quadstore::ids::O);
-        }
-    }
-    if let CGraph::Var(s) = &triple.g {
-        if bound.contains(s) {
-            positions.push(quadstore::ids::G);
-        }
-    }
-    positions
 }
 
 /// All variable slots a node can bind.

@@ -24,6 +24,8 @@ pub struct StepProfile {
     pub strategy: String,
     /// Planner's estimated scan rows.
     pub est_rows: u64,
+    /// Optimizer's estimated output rows after the join at this step.
+    pub est_out_rows: u64,
     /// Whether the executor ever pulled from this step.
     pub executed: bool,
     /// Rows the step actually emitted.
@@ -40,7 +42,8 @@ impl StepProfile {
         format!(
             concat!(
                 "{{\"ordinal\": {}, \"pattern\": \"{}\", \"index\": \"{}\", ",
-                "\"strategy\": \"{}\", \"est_rows\": {}, \"executed\": {}, ",
+                "\"strategy\": \"{}\", \"est_rows\": {}, \"est_out_rows\": {}, ",
+                "\"executed\": {}, ",
                 "\"actual_rows\": {}, \"loops\": {}, \"nanos\": {}}}"
             ),
             self.ordinal,
@@ -48,6 +51,7 @@ impl StepProfile {
             escape(&self.index),
             escape(&self.strategy),
             self.est_rows,
+            self.est_out_rows,
             self.executed,
             self.actual_rows,
             self.loops,
@@ -127,6 +131,7 @@ mod tests {
                 index: "PCSGM range scan".into(),
                 strategy: "NLJ".into(),
                 est_rows: 5,
+                est_out_rows: 5,
                 executed: true,
                 actual_rows: 2,
                 loops: 1,

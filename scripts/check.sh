@@ -27,8 +27,9 @@ cargo test --release -q --test vectorized_equivalence
 # Bench harness smoke run: every section (including the PR2
 # parallel/plan-cache artifact, the PR3 snapshot-isolated read scaling
 # artifact, the PR4 operator-profile artifact, the PR8 vectorized vs
-# row artifact, and the PR9 flight-recorder/system-view artifact) must
-# complete on a small fixture.
+# row artifact, the PR9 flight-recorder/system-view artifact, and the
+# PR10 cost-based vs greedy planning artifact with its ride-along
+# result-equivalence sweep) must complete on a small fixture.
 cargo run --release -q --bin repro -- --scale 0.01
 
 # Telemetry overhead guard: the EQ1-EQ5 batch with engine counters
@@ -58,3 +59,14 @@ cargo run --release -q --bin repro -- --scale 0.01 vecguard
 # than with it off (best-of-5 paired rounds; exits non-zero past the
 # budget).
 cargo run --release -q --bin repro -- --scale 0.01 flightguard
+
+# Cost-based-plan guard (opt-in: PLANGUARD=1 ./scripts/check.sh): the
+# cost-based optimizer's plans must finish within 5% of the greedy
+# heuristic's on every EQ1-EQ5 query (per-query best-of-9 paired
+# rounds; exits non-zero past the budget). Opt-in because per-plan
+# wall-time ratios on the tiny check fixture are noisier than the
+# in-process overhead guards above; the equivalence sweep in
+# `repro pr10` (part of `all`) still asserts result correctness.
+if [ "${PLANGUARD:-0}" = "1" ]; then
+    cargo run --release -q --bin repro -- --scale 0.01 planguard
+fi

@@ -218,6 +218,46 @@ fn vectorize_flag_is_part_of_the_cache_key() {
     assert!(prof_row.cache_hit, "profiled row run must reuse the row entry");
 }
 
+/// `ANALYZE` without DML: an explicit statistics refresh moves the stats
+/// version but not the mutation epoch, and cached plans — whose join
+/// orders were costed under the old statistics — must be evicted through
+/// the stats stamp alone.
+#[test]
+fn stats_refresh_evicts_cached_plans_without_an_epoch_bump() {
+    let s = store(PgRdfModel::NG);
+    let q = "PREFIX key: <http://pg/k/> SELECT ?n WHERE { ?v key:name ?n }";
+
+    s.select(q).unwrap();
+    s.select(q).unwrap();
+    assert_eq!(s.plan_cache().compiles(), 1);
+    assert_eq!(s.plan_cache().hits(), 1);
+
+    let epoch_before = s.store().epoch();
+    let invalidations_before = s.plan_cache().invalidations();
+    s.refresh_stats().unwrap();
+    assert_eq!(
+        s.store().epoch(),
+        epoch_before,
+        "a statistics refresh is not a data mutation and must not bump the epoch"
+    );
+
+    // The replay must notice the stats stamp no longer matches, evict,
+    // and recompile under the fresh statistics.
+    s.select(q).unwrap();
+    assert_eq!(
+        s.plan_cache().compiles(),
+        2,
+        "plan costed under stale statistics must be recompiled after ANALYZE"
+    );
+    assert!(s.plan_cache().invalidations() > invalidations_before);
+
+    // The recompiled entry is stamped with the new stats version and
+    // replays normally until the next refresh.
+    s.select(q).unwrap();
+    assert_eq!(s.plan_cache().compiles(), 2);
+    assert_eq!(s.plan_cache().hits(), 2);
+}
+
 /// Dropping an index changes the physical design, so the same query text
 /// against the same data must recompile (the signature key changes) and
 /// may choose different access paths.
