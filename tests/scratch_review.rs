@@ -1,0 +1,66 @@
+//! Scratch test: pin-pushdown soundness with possibly-unbound variables.
+
+use quadstore::Store;
+use rdf_model::{Quad, Term};
+use sparql::{CompileOptions, ExecOptions};
+
+fn store() -> Store {
+    let store = Store::new();
+    store.create_model("m").unwrap();
+    let quads = vec![
+        Quad::triple(
+            Term::iri("http://x/s1"),
+            Term::iri("http://x/a"),
+            Term::iri("http://x/X"),
+        )
+        .unwrap(),
+        Quad::triple(
+            Term::iri("http://x/s2"),
+            Term::iri("http://x/b"),
+            Term::iri("http://x/Y"),
+        )
+        .unwrap(),
+    ];
+    store.bulk_load("m", &quads).unwrap();
+    store
+}
+
+fn run(q: &str) -> Vec<String> {
+    let store = store();
+    let view = store.dataset("m").unwrap();
+    let parsed = sparql::parse_query(q).unwrap();
+    let compiled = sparql::compile_with(&view, &parsed, CompileOptions::default()).unwrap();
+    let sols =
+        sparql::execute_compiled_with_options(&view, &compiled, ExecOptions::threads(1)).unwrap();
+    let mut out: Vec<String> = sols.rows().iter().map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn union_branch_without_pin_var() {
+    // s2's branch does not bind ?v: FILTER(?v = <X>) must drop it
+    // (unbound -> error -> false).
+    let rows = run(
+        "SELECT ?s ?v WHERE { \
+           { ?s <http://x/a> ?v } UNION { ?s <http://x/b> ?o } \
+           FILTER(?v = <http://x/X>) }",
+    );
+    eprintln!("UNION rows: {rows:#?}");
+    assert_eq!(rows.len(), 1, "only s1 should survive, got {rows:#?}");
+}
+
+#[test]
+fn optional_nonmatching_pin_var() {
+    // s2 has no <a> edge... use s1: OPTIONAL binds ?v=<X> for s1 only when
+    // matching; with pin <Z> absent from store, expect zero rows.
+    let rows = run(
+        "SELECT ?s ?v WHERE { \
+           ?s <http://x/a> ?o \
+           OPTIONAL { ?s <http://x/b> ?v } \
+           FILTER(?v = <http://x/Y>) }",
+    );
+    eprintln!("OPTIONAL rows: {rows:#?}");
+    // s1 has no <b> edge: ?v unbound -> filter error -> dropped.
+    assert_eq!(rows.len(), 0, "no row should survive, got {rows:#?}");
+}
